@@ -1,0 +1,65 @@
+// Reproduces Figure 7: Narwhal scale-out. 4 validators, each with 1/4/7/10
+// dedicated (non-collocated) worker machines, for both Tusk and Narwhal-HS.
+// Top: latency-throughput curves per worker count. Bottom: maximum
+// throughput under a latency SLO — expected close to
+// (#workers) x (one-worker throughput), at flat latency (paper §7.2).
+#include <algorithm>
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace nt;
+
+int main() {
+  PrintBanner("Figure 7 (top): latency-throughput for 1/4/7/10 workers, 4 validators");
+
+  const std::vector<uint32_t> worker_counts = {1, 4, 7, 10};
+  const std::vector<double> per_worker_rates = {60000, 110000, 160000, 190000};
+  const std::vector<SystemKind> systems = {SystemKind::kTusk, SystemKind::kNarwhalHs};
+
+  // (system, workers) -> list of (tps, avg latency) for the SLO table.
+  std::map<std::pair<int, uint32_t>, std::vector<std::pair<double, double>>> curves;
+
+  PrintSweepHeader();
+  for (SystemKind system : systems) {
+    for (uint32_t workers : worker_counts) {
+      for (double per_worker : per_worker_rates) {
+        ExperimentParams params;
+        params.system = system;
+        params.nodes = 4;
+        params.workers = workers;
+        params.collocate = false;  // Dedicated machine per worker (paper E2).
+        params.rate_tps = per_worker * workers;
+        params.tx_size = 512;
+        params.duration = Seconds(20);
+        params.warmup = Seconds(6);
+        params.seed = 42;
+        AveragedResult r = RunAveraged(params, 1);
+        PrintSweepRow(r);
+        curves[{static_cast<int>(system), workers}].push_back({r.tps_mean, r.latency_mean});
+      }
+      std::printf("\n");
+    }
+  }
+
+  PrintBanner("Figure 7 (bottom): max throughput under latency SLO");
+  std::printf("%-12s %8s | %14s %14s\n", "system", "workers", "max_tps@3.5s", "max_tps@4.5s");
+  for (SystemKind system : systems) {
+    for (uint32_t workers : worker_counts) {
+      const auto& points = curves[{static_cast<int>(system), workers}];
+      double best_35 = 0, best_45 = 0;
+      for (const auto& [tps, lat] : points) {
+        if (lat > 0 && lat <= 3.5) {
+          best_35 = std::max(best_35, tps);
+        }
+        if (lat > 0 && lat <= 4.5) {
+          best_45 = std::max(best_45, tps);
+        }
+      }
+      std::printf("%-12s %8u | %14.0f %14.0f\n",
+                  SystemName(system), workers, best_35, best_45);
+    }
+  }
+  std::printf("\nLinear-scaling check: max_tps(W) / max_tps(1) should be close to W.\n");
+  return 0;
+}

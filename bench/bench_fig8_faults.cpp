@@ -1,0 +1,45 @@
+// Reproduces Figure 8: performance under crash faults. 10 validators, one
+// collocated worker, with 0, 1, and 3 crashed validators (3 = the maximum
+// tolerated), for all four systems.
+//
+// Expected shape (paper §7.3): baseline- and Batched-HotStuff suffer massive
+// throughput loss and an order-of-magnitude latency increase; Narwhal-HS and
+// Tusk keep throughput near (alive fraction) x input with bounded latency
+// growth — Tusk's latency the least affected.
+#include "bench/bench_util.h"
+
+using namespace nt;
+
+int main() {
+  PrintBanner("Figure 8: 10 validators with 0 / 1 / 3 crash faults");
+
+  PrintSweepHeader();
+  for (uint32_t faults : {0u, 1u, 3u}) {
+    for (SystemKind system : {SystemKind::kBaselineHs, SystemKind::kBatchedHs,
+                              SystemKind::kNarwhalHs, SystemKind::kTusk}) {
+      std::vector<double> rates = system == SystemKind::kBaselineHs
+                                      ? std::vector<double>{1000, 2000}
+                                      : std::vector<double>{30000, 70000};
+      for (double rate : rates) {
+        ExperimentParams params;
+        params.system = system;
+        params.nodes = 10;
+        params.workers = 1;
+        params.collocate = true;
+        params.rate_tps = rate;
+        params.tx_size = 512;
+        params.faults = faults;
+        params.duration = Seconds(40);
+        params.warmup = Seconds(10);
+        params.seed = 7;
+        PrintSweepRow(RunAveraged(params, 2));
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("Note: with f crashed validators, their clients' transactions are lost with\n"
+              "them, so ~(n-f)/n of input is the throughput ceiling (paper: 'the reduction\n"
+              "in throughput is in great part due to losing the capacity of faulty\n"
+              "validators').\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// The paper's §1 premise, measured: "Message complexity counts the number of
+// metadata messages (votes, signatures, hashes) which take minimal bandwidth
+// compared to the dissemination of bulk transaction data. Since blocks are
+// orders of magnitude larger than a typical consensus message, the
+// asymptotic message complexity is practically amortized for fixed mid-size
+// committees."
+//
+// Runs Tusk and Narwhal-HS at load and breaks the traffic down by message
+// type: bulk data (batches) vs DAG metadata (headers/votes/certificates) vs
+// consensus messages — the metadata share should be a few percent.
+#include <cstdio>
+
+#include "src/runtime/client.h"
+#include "src/runtime/cluster.h"
+
+using namespace nt;
+
+int main() {
+  std::printf("=== Message complexity vs bandwidth (paper §1) ===\n");
+  for (SystemKind system : {SystemKind::kTusk, SystemKind::kNarwhalHs}) {
+    ClusterConfig config;
+    config.system = system;
+    config.num_validators = 10;
+    config.seed = 3;
+    Cluster cluster(config);
+    std::vector<std::unique_ptr<LoadGenerator>> clients;
+    LoadGenerator::Options options;
+    options.rate_tps = 10000;  // Per validator: 100k tx/s aggregate.
+    options.stop_at = Seconds(15);
+    for (ValidatorId v = 0; v < 10; ++v) {
+      clients.push_back(std::make_unique<LoadGenerator>(&cluster, v, 0, options));
+      clients.back()->Start();
+    }
+    cluster.Start();
+    cluster.scheduler().RunUntil(Seconds(15));
+
+    const auto& stats = cluster.network().type_stats();
+    uint64_t total_bytes = cluster.network().bytes_sent();
+    uint64_t total_msgs = cluster.network().messages_sent();
+    std::printf("\n--- %s, 10 validators, 100k tx/s, 15s ---\n", SystemName(system));
+    std::printf("%-14s %12s %8s %14s %8s\n", "type", "messages", "msg%", "bytes", "byte%");
+    uint64_t bulk_bytes = 0;
+    for (const auto& [type, s] : stats) {
+      std::printf("%-14s %12llu %7.1f%% %14llu %7.2f%%\n", type.c_str(),
+                  static_cast<unsigned long long>(s.messages),
+                  100.0 * static_cast<double>(s.messages) / static_cast<double>(total_msgs),
+                  static_cast<unsigned long long>(s.bytes),
+                  100.0 * static_cast<double>(s.bytes) / static_cast<double>(total_bytes));
+      if (type == "Batch" || type == "BatchResponse") {
+        bulk_bytes += s.bytes;
+      }
+    }
+    std::printf("bulk (batches) = %.1f%% of all bytes; everything else — the entire\n"
+                "'message complexity' of the DAG and consensus — is the remaining %.1f%%.\n",
+                100.0 * static_cast<double>(bulk_bytes) / static_cast<double>(total_bytes),
+                100.0 - 100.0 * static_cast<double>(bulk_bytes) / static_cast<double>(total_bytes));
+  }
+  std::printf("\nConclusion (paper §1): optimizing consensus message complexity targets a\n"
+              "few percent of the traffic; reliable bulk dissemination is the real cost.\n");
+  return 0;
+}

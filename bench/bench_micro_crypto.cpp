@@ -1,0 +1,86 @@
+// Micro-benchmarks for the crypto substrate (google-benchmark): SHA-2,
+// Ed25519, the FastSigner used in protocol simulations, and the coin.
+// These are the §6 "implementation" costs — the data-path rates that inform
+// the simulator's processing model.
+#include <benchmark/benchmark.h>
+
+#include "src/crypto/coin.h"
+#include "src/crypto/ed25519.h"
+#include "src/crypto/hash.h"
+#include "src/crypto/signer.h"
+
+namespace nt {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(state.range(0), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(64 * 1024)->Arg(512 * 1024);
+
+void BM_Sha512(benchmark::State& state) {
+  Bytes data(state.range(0), 0xcd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha512::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(64 * 1024);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  Ed25519Seed seed{};
+  seed[0] = 1;
+  Bytes msg(64, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ed25519Sign(seed, msg));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  Ed25519Seed seed{};
+  seed[0] = 2;
+  Ed25519PublicKey pk = Ed25519Public(seed);
+  Bytes msg(64, 7);
+  Ed25519Signature sig = Ed25519Sign(seed, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ed25519Verify(pk, msg, sig));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_FastSignerSign(benchmark::State& state) {
+  auto signer = MakeSigner(SignerKind::kFast, DeriveSeed(1, 0));
+  Bytes msg(64, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signer->Sign(msg));
+  }
+}
+BENCHMARK(BM_FastSignerSign);
+
+void BM_FastSignerVerify(benchmark::State& state) {
+  auto signer = MakeSigner(SignerKind::kFast, DeriveSeed(1, 0));
+  Bytes msg(64, 7);
+  Signature sig = signer->Sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signer->Verify(signer->public_key(), msg, sig));
+  }
+}
+BENCHMARK(BM_FastSignerVerify);
+
+void BM_CommonCoin(benchmark::State& state) {
+  CommonCoin coin(7);
+  uint64_t wave = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coin.LeaderOf(++wave, 50));
+  }
+}
+BENCHMARK(BM_CommonCoin);
+
+}  // namespace
+}  // namespace nt
+
+BENCHMARK_MAIN();

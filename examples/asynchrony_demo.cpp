@@ -1,0 +1,71 @@
+// The paper's §3.2 robustness story, live: during a period of asynchrony
+// (all WAN delays x25), the Narwhal mempool keeps certifying blocks at full
+// speed. Tusk keeps committing (it is asynchronous); Narwhal-HotStuff stalls
+// for the duration, then one commit after the network heals covers the whole
+// backlog — throughput is preserved, only latency suffers.
+//
+//   $ ./examples/asynchrony_demo
+#include <cstdio>
+
+#include "src/runtime/client.h"
+#include "src/runtime/cluster.h"
+
+using namespace nt;
+
+int main() {
+  const TimePoint kAsyncStart = Seconds(8);
+  const TimePoint kAsyncEnd = Seconds(20);
+  const TimePoint kRunEnd = Seconds(30);
+
+  for (SystemKind system : {SystemKind::kTusk, SystemKind::kNarwhalHs}) {
+    std::printf("=== %s: asynchrony window [%llds, %llds), delays x25 ===\n", SystemName(system),
+                static_cast<long long>(kAsyncStart / 1000000),
+                static_cast<long long>(kAsyncEnd / 1000000));
+
+    ClusterConfig config;
+    config.system = system;
+    config.num_validators = 4;
+    config.seed = 33;
+    Cluster cluster(config);
+    cluster.faults().AddAsynchronyWindow(kAsyncStart, kAsyncEnd, 25.0);
+    cluster.metrics().set_observer(0);
+    cluster.metrics().SetWindow(Seconds(2), kRunEnd);
+
+    LoadGenerator::Options options;
+    options.rate_tps = 2500;
+    options.stop_at = kRunEnd;
+    std::vector<std::unique_ptr<LoadGenerator>> clients;
+    for (ValidatorId v = 0; v < 4; ++v) {
+      clients.push_back(std::make_unique<LoadGenerator>(&cluster, v, 0, options));
+      clients.back()->Start();
+    }
+    cluster.Start();
+
+    uint64_t last_txs = 0;
+    Round last_round = 0;
+    for (TimePoint t = Seconds(2); t <= kRunEnd; t += Seconds(2)) {
+      cluster.scheduler().RunUntil(t);
+      uint64_t txs = cluster.metrics().committed_txs();
+      Round round = cluster.primary(0)->dag().HighestRound();
+      const char* phase = (t > kAsyncStart && t <= kAsyncEnd) ? "ASYNC " : "normal";
+      std::printf("  t=%2llds [%s] dag_round=%-4llu (+%llu)  committed_txs=%-8llu (+%llu)\n",
+                  static_cast<long long>(t / 1000000), phase,
+                  static_cast<unsigned long long>(round),
+                  static_cast<unsigned long long>(round - last_round),
+                  static_cast<unsigned long long>(txs),
+                  static_cast<unsigned long long>(txs - last_txs));
+      last_txs = txs;
+      last_round = round;
+    }
+    std::printf("  total committed: %llu of ~%.0f submitted (%.0f%%), avg latency %.1fs\n\n",
+                static_cast<unsigned long long>(cluster.metrics().committed_txs()),
+                10000.0 * ToSeconds(kRunEnd - Seconds(2)),
+                100.0 * cluster.metrics().committed_txs() /
+                    (10000.0 * ToSeconds(kRunEnd - Seconds(2))),
+                cluster.metrics().latency_seconds().Mean());
+  }
+  std::printf("Takeaway: the DAG keeps advancing during asynchrony for both systems\n"
+              "(Narwhal needs no timing assumption). Tusk also keeps committing; HotStuff\n"
+              "pauses and then recovers the entire backlog through one certificate.\n");
+  return 0;
+}

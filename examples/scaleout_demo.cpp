@@ -1,0 +1,59 @@
+// Scale-out (paper §4.2, Figure 7): one validator identity, many worker
+// machines. Throughput grows with the number of dedicated workers while
+// latency stays flat, because bulk dissemination is embarrassingly parallel
+// and the primary only handles hashes.
+//
+//   $ ./examples/scaleout_demo
+#include <cstdio>
+
+#include "src/runtime/client.h"
+#include "src/runtime/cluster.h"
+
+using namespace nt;
+
+int main() {
+  std::printf("Tusk, 4 validators, dedicated worker machines, input scaled with workers:\n\n");
+  std::printf("%8s %12s %12s %12s %14s\n", "workers", "input_tps", "tps", "avg_lat_s",
+              "tps_per_worker");
+
+  double one_worker_tps = 0;
+  for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+    ClusterConfig config;
+    config.system = SystemKind::kTusk;
+    config.num_validators = 4;
+    config.workers_per_validator = workers;
+    config.collocate = false;  // Each worker brings its own machine + NIC.
+    config.seed = 55;
+    Cluster cluster(config);
+    cluster.metrics().set_observer(0);
+    cluster.metrics().SetWindow(Seconds(5), Seconds(20));
+
+    // Load near one worker machine's saturation point, times the workers.
+    double rate = 160000.0 * workers;
+    LoadGenerator::Options options;
+    options.rate_tps = rate / (4 * workers);
+    options.stop_at = Seconds(20);
+    std::vector<std::unique_ptr<LoadGenerator>> clients;
+    for (ValidatorId v = 0; v < 4; ++v) {
+      for (WorkerId w = 0; w < workers; ++w) {
+        clients.push_back(std::make_unique<LoadGenerator>(&cluster, v, w, options));
+        clients.back()->Start();
+      }
+    }
+    cluster.Start();
+    cluster.scheduler().RunUntil(Seconds(20));
+
+    double tps = cluster.metrics().ThroughputTps();
+    if (workers == 1) {
+      one_worker_tps = tps;
+    }
+    std::printf("%8u %12.0f %12.0f %12.2f %14.0f\n", workers, rate, tps,
+                cluster.metrics().latency_seconds().Mean(), tps / workers);
+  }
+  std::printf("\nLinear scaling: tps(W) should track W x %.0f with flat latency\n"
+              "(the paper: 'throughput is close to (#workers) x (throughput for one\n"
+              "worker)'). The primary never bottlenecks: it only sequences 32-byte\n"
+              "batch digests.\n",
+              one_worker_tps);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Byte-buffer primitives shared by every module: the `Bytes` alias, hex
+// encoding/decoding, and constant-time comparison for secret material.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nt {
+
+using Bytes = std::vector<uint8_t>;
+
+// Encodes `data` as lowercase hex.
+std::string ToHex(const uint8_t* data, size_t len);
+std::string ToHex(const Bytes& data);
+
+// Decodes a hex string (upper or lower case). Returns std::nullopt on any
+// malformed input (odd length, non-hex characters).
+std::optional<Bytes> FromHex(std::string_view hex);
+
+// Compares two equal-length buffers without data-dependent branches. Returns
+// true iff the buffers are byte-wise equal. Intended for MAC/signature
+// comparisons where early-exit timing would leak information.
+bool ConstantTimeEqual(const uint8_t* a, const uint8_t* b, size_t len);
+
+}  // namespace nt
+
+#endif  // SRC_COMMON_BYTES_H_

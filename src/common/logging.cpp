@@ -1,0 +1,45 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace nt {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line, msg.c_str());
+}
+
+}  // namespace nt

@@ -1,0 +1,48 @@
+// Minimal leveled logger. Protocol code logs through LOG_* macros; the
+// global level defaults to kWarn so tests and benchmarks stay quiet unless a
+// scenario opts into verbosity.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace nt {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace nt
+
+#define NT_LOG(level)                          \
+  if (::nt::GetLogLevel() <= (level))          \
+  ::nt::LogStream(level, __FILE__, __LINE__)
+
+#define LOG_TRACE() NT_LOG(::nt::LogLevel::kTrace)
+#define LOG_DEBUG() NT_LOG(::nt::LogLevel::kDebug)
+#define LOG_INFO() NT_LOG(::nt::LogLevel::kInfo)
+#define LOG_WARN() NT_LOG(::nt::LogLevel::kWarn)
+#define LOG_ERROR() NT_LOG(::nt::LogLevel::kError)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,69 @@
+// Small online/offline statistics helpers used by the benchmark harness and
+// metrics collection: mean, standard deviation, and percentiles over samples.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace nt {
+
+// Accumulates scalar samples and answers summary queries. Percentile queries
+// sort a copy lazily; intended for end-of-run reporting, not hot paths.
+class SampleStats {
+ public:
+  void Add(double v) {
+    samples_.push_back(v);
+    sum_ += v;
+    sum_sq_ += v * v;
+  }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Mean() const { return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size()); }
+
+  double StdDev() const {
+    if (samples_.size() < 2) {
+      return 0.0;
+    }
+    double n = static_cast<double>(samples_.size());
+    double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+    return var > 0 ? std::sqrt(var) : 0.0;
+  }
+
+  double Min() const {
+    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // p in [0, 100]. Nearest-rank percentile.
+  double Percentile(double p) const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace nt
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,28 @@
+// Simulated-time primitives. All protocol and network code measures time in
+// integer microseconds on the discrete-event simulator clock; wall-clock time
+// never leaks into protocol logic so runs replay deterministically.
+#ifndef SRC_COMMON_TIME_H_
+#define SRC_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace nt {
+
+// A point on the simulation clock, in microseconds since simulation start.
+using TimePoint = int64_t;
+// A span of simulated time, in microseconds.
+using TimeDelta = int64_t;
+
+constexpr TimeDelta Micros(int64_t us) { return us; }
+constexpr TimeDelta Millis(int64_t ms) { return ms * 1000; }
+constexpr TimeDelta Seconds(int64_t s) { return s * 1000 * 1000; }
+
+constexpr double ToSeconds(TimeDelta d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToMillis(TimeDelta d) { return static_cast<double>(d) / 1e3; }
+
+// Sentinel meaning "no deadline".
+constexpr TimePoint kNever = INT64_MAX;
+
+}  // namespace nt
+
+#endif  // SRC_COMMON_TIME_H_

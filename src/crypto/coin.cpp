@@ -1,0 +1,66 @@
+#include "src/crypto/coin.h"
+
+#include <cstring>
+
+#include "src/common/codec.h"
+
+namespace nt {
+namespace {
+
+Digest WaveValue(uint64_t setup_seed, uint64_t wave) {
+  Writer w;
+  w.PutString("tusk-coin");
+  w.PutU64(setup_seed);
+  w.PutU64(wave);
+  return Sha256::Hash(w.bytes());
+}
+
+uint32_t DigestToIndex(const Digest& d, uint32_t committee_size) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(d[i]) << (8 * i);
+  }
+  return static_cast<uint32_t>(v % committee_size);
+}
+
+}  // namespace
+
+uint32_t CommonCoin::LeaderOf(uint64_t wave, uint32_t committee_size) const {
+  return DigestToIndex(WaveValue(setup_seed_, wave), committee_size);
+}
+
+ShareCoin::ShareCoin(uint64_t setup_seed, uint32_t committee_size)
+    : setup_seed_(setup_seed), committee_size_(committee_size) {}
+
+Digest ShareCoin::Share(uint32_t index, uint64_t wave) const {
+  // A share carries the wave value (the "signature share" payload all honest
+  // shares agree on) tagged with the contributor's index in the trailing four
+  // bytes, mimicking distinct per-party shares of one aggregate.
+  Digest share = WaveValue(setup_seed_, wave);
+  share[28] = static_cast<uint8_t>(index);
+  share[29] = static_cast<uint8_t>(index >> 8);
+  share[30] = static_cast<uint8_t>(index >> 16);
+  share[31] = static_cast<uint8_t>(index >> 24);
+  return share;
+}
+
+uint32_t ShareCoin::Combine(const std::vector<Digest>& shares, uint32_t committee_size) {
+  // All honest shares agree on the first 28 bytes; the combined value is a
+  // function of that payload only, so any qualifying subset yields the same
+  // coin — the subset-independence a real threshold scheme provides via
+  // interpolation.
+  Digest payload = shares.front();
+  payload[28] = payload[29] = payload[30] = payload[31] = 0;
+  return DigestToIndex(payload, committee_size);
+}
+
+uint32_t ShareCoin::LeaderOf(uint64_t wave, uint32_t committee_size) const {
+  std::vector<Digest> shares;
+  uint32_t threshold = committee_size / 3 + 1;  // f + 1
+  for (uint32_t i = 0; i < threshold; ++i) {
+    shares.push_back(Share(i, wave));
+  }
+  return Combine(shares, committee_size);
+}
+
+}  // namespace nt

@@ -1,0 +1,70 @@
+// The shared random coin Tusk uses to elect wave leaders (paper §5).
+//
+// The paper instantiates it with an adaptively secure threshold signature
+// [14] whose key setup can run under asynchrony [31], piggybacked on DAG
+// blocks at zero message cost. This reproduction keeps the interface and the
+// property the proofs rely on — the wave-w draw is uniform and unobservable
+// to the protocol before round 2w+1 is interpreted — and provides:
+//
+//  - CommonCoin: H(setup-seed || wave) mod n. Zero messages, uniform,
+//    deterministic across validators (they share the setup seed, exactly as
+//    they would share the threshold public key).
+//  - ShareCoin: a share-combining mock (f+1 keyed-hash shares XOR-folded)
+//    exercising the aggregation code path in tests.
+#ifndef SRC_CRYPTO_COIN_H_
+#define SRC_CRYPTO_COIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/hash.h"
+
+namespace nt {
+
+// Elects the leader validator index for a wave.
+class ThresholdCoin {
+ public:
+  virtual ~ThresholdCoin() = default;
+
+  // Uniform draw in [0, committee_size) for `wave`. Every honest validator
+  // obtains the same value.
+  virtual uint32_t LeaderOf(uint64_t wave, uint32_t committee_size) const = 0;
+};
+
+// Seed-derived coin; the default in all simulations.
+class CommonCoin : public ThresholdCoin {
+ public:
+  explicit CommonCoin(uint64_t setup_seed) : setup_seed_(setup_seed) {}
+
+  uint32_t LeaderOf(uint64_t wave, uint32_t committee_size) const override;
+
+ private:
+  uint64_t setup_seed_;
+};
+
+// Mock threshold scheme: validator i's share for a wave is a keyed hash; any
+// f+1 distinct shares combine to the same coin value. Used by tests to check
+// that the combination is share-set independent.
+class ShareCoin : public ThresholdCoin {
+ public:
+  // One secret per validator, all derived from the setup seed (stand-in for
+  // DKG output).
+  ShareCoin(uint64_t setup_seed, uint32_t committee_size);
+
+  // Validator `index`'s share for `wave`.
+  Digest Share(uint32_t index, uint64_t wave) const;
+
+  // Combines >= threshold distinct shares into the coin value. The result
+  // must not depend on which subset was supplied; asserts shares are valid.
+  static uint32_t Combine(const std::vector<Digest>& shares, uint32_t committee_size);
+
+  uint32_t LeaderOf(uint64_t wave, uint32_t committee_size) const override;
+
+ private:
+  uint64_t setup_seed_;
+  uint32_t committee_size_;
+};
+
+}  // namespace nt
+
+#endif  // SRC_CRYPTO_COIN_H_

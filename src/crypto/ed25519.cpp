@@ -1,0 +1,622 @@
+#include "src/crypto/ed25519.h"
+
+#include <cstring>
+
+#include "src/crypto/hash.h"
+
+namespace nt {
+namespace {
+
+// ===========================================================================
+// Field arithmetic over GF(p), p = 2^255 - 19. Elements are 5 limbs of 51
+// bits each (little-endian limb order). Invariant maintained by all public
+// helpers below: limbs < 2^52 on input and output.
+// ===========================================================================
+
+constexpr uint64_t kMask51 = (1ull << 51) - 1;
+
+struct Fe {
+  uint64_t l[5] = {0, 0, 0, 0, 0};
+};
+
+Fe FeFromInt(uint64_t v) {
+  Fe r;
+  r.l[0] = v & kMask51;
+  r.l[1] = v >> 51;
+  return r;
+}
+
+// Propagates carries so every limb drops below 2^52 (two passes settle any
+// input with limbs < 2^63).
+void FeCarry(Fe& a) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 4; ++i) {
+      uint64_t c = a.l[i] >> 51;
+      a.l[i] &= kMask51;
+      a.l[i + 1] += c;
+    }
+    uint64_t c = a.l[4] >> 51;
+    a.l[4] &= kMask51;
+    a.l[0] += 19 * c;
+  }
+}
+
+Fe FeAdd(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) {
+    r.l[i] = a.l[i] + b.l[i];
+  }
+  FeCarry(r);
+  return r;
+}
+
+// a - b, computed as a + 2p - b so limbs never underflow.
+Fe FeSub(const Fe& a, const Fe& b) {
+  // 2p in 51-bit limbs: limb0 = 2*(2^51 - 19), limbs 1..4 = 2*(2^51 - 1).
+  static constexpr uint64_t kTwoP0 = 2 * ((1ull << 51) - 19);
+  static constexpr uint64_t kTwoPi = 2 * ((1ull << 51) - 1);
+  Fe r;
+  r.l[0] = a.l[0] + kTwoP0 - b.l[0];
+  for (int i = 1; i < 5; ++i) {
+    r.l[i] = a.l[i] + kTwoPi - b.l[i];
+  }
+  FeCarry(r);
+  return r;
+}
+
+Fe FeNeg(const Fe& a) {
+  Fe zero;
+  return FeSub(zero, a);
+}
+
+Fe FeMul(const Fe& a, const Fe& b) {
+  using U128 = unsigned __int128;
+  const uint64_t a0 = a.l[0], a1 = a.l[1], a2 = a.l[2], a3 = a.l[3], a4 = a.l[4];
+  const uint64_t b0 = b.l[0], b1 = b.l[1], b2 = b.l[2], b3 = b.l[3], b4 = b.l[4];
+
+  U128 r0 = (U128)a0 * b0 + (U128)19 * ((U128)a1 * b4 + (U128)a2 * b3 + (U128)a3 * b2 + (U128)a4 * b1);
+  U128 r1 = (U128)a0 * b1 + (U128)a1 * b0 +
+            (U128)19 * ((U128)a2 * b4 + (U128)a3 * b3 + (U128)a4 * b2);
+  U128 r2 = (U128)a0 * b2 + (U128)a1 * b1 + (U128)a2 * b0 + (U128)19 * ((U128)a3 * b4 + (U128)a4 * b3);
+  U128 r3 = (U128)a0 * b3 + (U128)a1 * b2 + (U128)a2 * b1 + (U128)a3 * b0 + (U128)19 * ((U128)a4 * b4);
+  U128 r4 = (U128)a0 * b4 + (U128)a1 * b3 + (U128)a2 * b2 + (U128)a3 * b1 + (U128)a4 * b0;
+
+  Fe out;
+  U128 c;
+  c = r0 >> 51;
+  out.l[0] = (uint64_t)r0 & kMask51;
+  r1 += c;
+  c = r1 >> 51;
+  out.l[1] = (uint64_t)r1 & kMask51;
+  r2 += c;
+  c = r2 >> 51;
+  out.l[2] = (uint64_t)r2 & kMask51;
+  r3 += c;
+  c = r3 >> 51;
+  out.l[3] = (uint64_t)r3 & kMask51;
+  r4 += c;
+  c = r4 >> 51;
+  out.l[4] = (uint64_t)r4 & kMask51;
+  out.l[0] += 19 * (uint64_t)c;
+  FeCarry(out);
+  return out;
+}
+
+Fe FeSquare(const Fe& a) { return FeMul(a, a); }
+
+// Canonical 32-byte little-endian encoding (value fully reduced mod p).
+void FeToBytes(uint8_t out[32], const Fe& in) {
+  Fe t = in;
+  FeCarry(t);
+  // Compute q = floor(value / p) in {0,1} via the standard +19 ripple.
+  uint64_t q = (t.l[0] + 19) >> 51;
+  q = (t.l[1] + q) >> 51;
+  q = (t.l[2] + q) >> 51;
+  q = (t.l[3] + q) >> 51;
+  q = (t.l[4] + q) >> 51;
+  t.l[0] += 19 * q;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t c = t.l[i] >> 51;
+    t.l[i] &= kMask51;
+    t.l[i + 1] += c;
+  }
+  t.l[4] &= kMask51;  // Drop bit 255 (the subtraction of p happened via +19*q).
+
+  uint64_t word0 = t.l[0] | (t.l[1] << 51);
+  uint64_t word1 = (t.l[1] >> 13) | (t.l[2] << 38);
+  uint64_t word2 = (t.l[2] >> 26) | (t.l[3] << 25);
+  uint64_t word3 = (t.l[3] >> 39) | (t.l[4] << 12);
+  uint64_t words[4] = {word0, word1, word2, word3};
+  for (int w = 0; w < 4; ++w) {
+    for (int i = 0; i < 8; ++i) {
+      out[8 * w + i] = static_cast<uint8_t>(words[w] >> (8 * i));
+    }
+  }
+}
+
+// Loads 255 bits little-endian (ignores the top bit of byte 31).
+Fe FeFromBytes(const uint8_t in[32]) {
+  uint64_t words[4];
+  for (int w = 0; w < 4; ++w) {
+    words[w] = 0;
+    for (int i = 0; i < 8; ++i) {
+      words[w] |= static_cast<uint64_t>(in[8 * w + i]) << (8 * i);
+    }
+  }
+  Fe r;
+  r.l[0] = words[0] & kMask51;
+  r.l[1] = ((words[0] >> 51) | (words[1] << 13)) & kMask51;
+  r.l[2] = ((words[1] >> 38) | (words[2] << 26)) & kMask51;
+  r.l[3] = ((words[2] >> 25) | (words[3] << 39)) & kMask51;
+  r.l[4] = (words[3] >> 12) & kMask51;
+  return r;
+}
+
+bool FeIsZero(const Fe& a) {
+  uint8_t bytes[32];
+  FeToBytes(bytes, a);
+  uint8_t acc = 0;
+  for (uint8_t b : bytes) {
+    acc |= b;
+  }
+  return acc == 0;
+}
+
+bool FeEqual(const Fe& a, const Fe& b) { return FeIsZero(FeSub(a, b)); }
+
+// Low bit of the canonical encoding — the "sign" used by point compression.
+int FeIsNegative(const Fe& a) {
+  uint8_t bytes[32];
+  FeToBytes(bytes, a);
+  return bytes[0] & 1;
+}
+
+// base^e where e is a 256-bit little-endian exponent. Plain square-and-
+// multiply; this reproduction does not need constant-time exponentiation.
+Fe FePow(const Fe& base, const uint8_t e[32]) {
+  Fe result = FeFromInt(1);
+  for (int i = 255; i >= 0; --i) {
+    result = FeSquare(result);
+    if ((e[i / 8] >> (i % 8)) & 1) {
+      result = FeMul(result, base);
+    }
+  }
+  return result;
+}
+
+// Little-endian bytes of p = 2^255 - 19.
+void PBytes(uint8_t out[32]) {
+  out[0] = 0xed;
+  for (int i = 1; i < 31; ++i) {
+    out[i] = 0xff;
+  }
+  out[31] = 0x7f;
+}
+
+// Subtracts a small value from a little-endian byte integer in place.
+void BytesSubSmall(uint8_t b[32], uint32_t v) {
+  uint32_t borrow = v;
+  for (int i = 0; i < 32 && borrow != 0; ++i) {
+    uint32_t cur = b[i];
+    uint32_t sub = borrow & 0xff;
+    if (cur >= sub) {
+      b[i] = static_cast<uint8_t>(cur - sub);
+      borrow >>= 8;
+    } else {
+      b[i] = static_cast<uint8_t>(cur + 256 - sub);
+      borrow = (borrow >> 8) + 1;
+    }
+  }
+}
+
+// Shifts a little-endian byte integer right by `n` bits (n < 8).
+void BytesShiftRight(uint8_t b[32], int n) {
+  for (int i = 0; i < 32; ++i) {
+    uint8_t next = (i + 1 < 32) ? b[i + 1] : 0;
+    b[i] = static_cast<uint8_t>((b[i] >> n) | (next << (8 - n)));
+  }
+}
+
+Fe FeInvert(const Fe& a) {
+  uint8_t e[32];
+  PBytes(e);
+  BytesSubSmall(e, 2);  // p - 2
+  return FePow(a, e);
+}
+
+Fe FePowP58(const Fe& a) {
+  uint8_t e[32];
+  PBytes(e);
+  BytesSubSmall(e, 5);   // p - 5
+  BytesShiftRight(e, 3);  // (p - 5) / 8
+  return FePow(a, e);
+}
+
+// ===========================================================================
+// Group operations: twisted Edwards curve -x^2 + y^2 = 1 + d x^2 y^2 in
+// extended coordinates (X : Y : Z : T) with x = X/Z, y = Y/Z, T = XY/Z.
+// ===========================================================================
+
+struct Ge {
+  Fe x, y, z, t;
+};
+
+struct CurveConstants {
+  Fe d;
+  Fe d2;       // 2d
+  Fe sqrt_m1;  // sqrt(-1)
+  Ge base;     // the RFC 8032 base point (x, 4/5) with even x
+  Ge identity;
+
+  CurveConstants();
+};
+
+// Decompression against explicit constants: also used while constructing the
+// constants themselves (the base point), where calling Curve() would
+// re-enter the magic-static initialization.
+bool GeDecompressWith(const CurveConstants& c, Ge& out, const uint8_t in[32]);
+
+const CurveConstants& Curve() {
+  static const CurveConstants c;
+  return c;
+}
+
+Ge GeIdentity() {
+  Ge r;
+  r.x = Fe();           // 0
+  r.y = FeFromInt(1);   // 1
+  r.z = FeFromInt(1);   // 1
+  r.t = Fe();           // 0
+  return r;
+}
+
+// Complete unified addition (add-2008-hwcd-3 for a = -1); also valid when
+// p == q, so doubling reuses it.
+Ge GeAdd(const Ge& p, const Ge& q) {
+  const CurveConstants& c = Curve();
+  Fe a = FeMul(FeSub(p.y, p.x), FeSub(q.y, q.x));
+  Fe b = FeMul(FeAdd(p.y, p.x), FeAdd(q.y, q.x));
+  Fe cc = FeMul(FeMul(p.t, c.d2), q.t);
+  Fe d = FeMul(FeAdd(p.z, p.z), q.z);
+  Fe e = FeSub(b, a);
+  Fe f = FeSub(d, cc);
+  Fe g = FeAdd(d, cc);
+  Fe h = FeAdd(b, a);
+  Ge r;
+  r.x = FeMul(e, f);
+  r.y = FeMul(g, h);
+  r.t = FeMul(e, h);
+  r.z = FeMul(f, g);
+  return r;
+}
+
+Ge GeDouble(const Ge& p) { return GeAdd(p, p); }
+
+// [s]P for a 256-bit little-endian scalar, MSB-first double-and-add.
+Ge GeScalarMult(const uint8_t s[32], const Ge& p) {
+  Ge r = GeIdentity();
+  for (int i = 255; i >= 0; --i) {
+    r = GeDouble(r);
+    if ((s[i / 8] >> (i % 8)) & 1) {
+      r = GeAdd(r, p);
+    }
+  }
+  return r;
+}
+
+void GeCompress(uint8_t out[32], const Ge& p) {
+  Fe zinv = FeInvert(p.z);
+  Fe x = FeMul(p.x, zinv);
+  Fe y = FeMul(p.y, zinv);
+  FeToBytes(out, y);
+  out[31] = static_cast<uint8_t>(out[31] | (FeIsNegative(x) << 7));
+}
+
+// Decompresses an encoded point. Returns false for off-curve or non-canonical
+// encodings (y >= p), per strict validation.
+bool GeDecompress(Ge& out, const uint8_t in[32]) {
+  return GeDecompressWith(Curve(), out, in);
+}
+
+bool GeDecompressWith(const CurveConstants& c, Ge& out, const uint8_t in[32]) {
+  // Reject y >= p (non-canonical field encoding).
+  uint8_t p_bytes[32];
+  PBytes(p_bytes);
+  uint8_t y_bytes[32];
+  std::memcpy(y_bytes, in, 32);
+  y_bytes[31] &= 0x7f;
+  bool y_lt_p = false;
+  for (int i = 31; i >= 0; --i) {
+    if (y_bytes[i] != p_bytes[i]) {
+      y_lt_p = y_bytes[i] < p_bytes[i];
+      break;
+    }
+  }
+  if (!y_lt_p) {
+    return false;
+  }
+
+  int sign = in[31] >> 7;
+  Fe y = FeFromBytes(in);
+  Fe y2 = FeSquare(y);
+  Fe u = FeSub(y2, FeFromInt(1));            // y^2 - 1
+  Fe v = FeAdd(FeMul(y2, c.d), FeFromInt(1));  // d y^2 + 1
+
+  // Candidate root: x = u v^3 (u v^7)^((p-5)/8).
+  Fe v3 = FeMul(FeSquare(v), v);
+  Fe v7 = FeMul(FeSquare(v3), v);
+  Fe x = FeMul(FeMul(u, v3), FePowP58(FeMul(u, v7)));
+
+  Fe vx2 = FeMul(v, FeSquare(x));
+  if (!FeEqual(vx2, u)) {
+    if (FeEqual(vx2, FeNeg(u))) {
+      x = FeMul(x, c.sqrt_m1);
+    } else {
+      return false;
+    }
+  }
+  if (FeIsZero(x) && sign == 1) {
+    return false;  // -0 is not a valid encoding.
+  }
+  if (FeIsNegative(x) != sign) {
+    x = FeNeg(x);
+  }
+  out.x = x;
+  out.y = y;
+  out.z = FeFromInt(1);
+  out.t = FeMul(x, y);
+  return true;
+}
+
+CurveConstants::CurveConstants() {
+  // d = -121665 / 121666 mod p.
+  d = FeNeg(FeMul(FeFromInt(121665), FeInvert(FeFromInt(121666))));
+  d2 = FeAdd(d, d);
+  // sqrt(-1) = 2^((p-1)/4) mod p.
+  uint8_t e[32];
+  PBytes(e);
+  BytesSubSmall(e, 1);
+  BytesShiftRight(e, 2);
+  sqrt_m1 = FePow(FeFromInt(2), e);
+  identity = GeIdentity();
+  // Base point: y = 4/5, even x (sign bit 0).
+  Fe by = FeMul(FeFromInt(4), FeInvert(FeFromInt(5)));
+  uint8_t enc[32];
+  FeToBytes(enc, by);
+  bool ok = GeDecompressWith(*this, base, enc);
+  (void)ok;  // The base point always decodes; pinned by tests.
+}
+
+// ===========================================================================
+// Scalar arithmetic modulo L = 2^252 + 27742317777372353535851937790883648493.
+// Scalars are 4 little-endian 64-bit words. Reduction is an exact 512-bit
+// MSB-first binary reduction (shift-and-conditional-subtract).
+// ===========================================================================
+
+struct Sc {
+  uint64_t w[4] = {0, 0, 0, 0};
+};
+
+const Sc& GroupOrder() {
+  // Little-endian bytes of L (standard constant, pinned by [L]B == identity
+  // in tests).
+  static const Sc l = [] {
+    const uint8_t bytes[32] = {0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7,
+                               0xa2, 0xde, 0xf9, 0xde, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                               0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10};
+    Sc s;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 8; ++j) {
+        s.w[i] |= static_cast<uint64_t>(bytes[8 * i + j]) << (8 * j);
+      }
+    }
+    return s;
+  }();
+  return l;
+}
+
+int ScCompare(const Sc& a, const Sc& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.w[i] != b.w[i]) {
+      return a.w[i] < b.w[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+void ScSubInPlace(Sc& a, const Sc& b) {
+  uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t bi = b.w[i] + borrow;
+    uint64_t next_borrow = (bi < borrow) || (a.w[i] < bi) ? 1 : 0;
+    a.w[i] -= bi;
+    borrow = next_borrow;
+  }
+}
+
+// Reduces a 512-bit little-endian integer (as 8 words) modulo L.
+Sc ScReduceWide(const uint64_t wide[8]) {
+  const Sc& l = GroupOrder();
+  Sc r;
+  for (int bit = 511; bit >= 0; --bit) {
+    // r = 2r + bit, then conditionally subtract L. r stays < L < 2^253, so
+    // doubling never overflows 256 bits.
+    uint64_t carry = (wide[bit / 64] >> (bit % 64)) & 1;
+    for (int i = 0; i < 4; ++i) {
+      uint64_t next_carry = r.w[i] >> 63;
+      r.w[i] = (r.w[i] << 1) | carry;
+      carry = next_carry;
+    }
+    if (ScCompare(r, l) >= 0) {
+      ScSubInPlace(r, l);
+    }
+  }
+  return r;
+}
+
+Sc ScFromBytesWide(const uint8_t in[64]) {
+  uint64_t wide[8] = {0};
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      wide[i] |= static_cast<uint64_t>(in[8 * i + j]) << (8 * j);
+    }
+  }
+  return ScReduceWide(wide);
+}
+
+Sc ScFromBytes(const uint8_t in[32]) {
+  uint8_t wide[64] = {0};
+  std::memcpy(wide, in, 32);
+  return ScFromBytesWide(wide);
+}
+
+void ScToBytes(uint8_t out[32], const Sc& s) {
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      out[8 * i + j] = static_cast<uint8_t>(s.w[i] >> (8 * j));
+    }
+  }
+}
+
+// (a * b + c) mod L. a and b may be any 256-bit values (e.g. the clamped
+// secret scalar); the 512-bit product plus c is reduced exactly.
+Sc ScMulAdd(const Sc& a, const Sc& b, const Sc& c) {
+  using U128 = unsigned __int128;
+  uint64_t wide[8] = {0};
+  for (int i = 0; i < 4; ++i) {
+    uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      U128 cur = (U128)a.w[i] * b.w[j] + wide[i + j] + carry;
+      wide[i + j] = (uint64_t)cur;
+      carry = (uint64_t)(cur >> 64);
+    }
+    wide[i + 4] += carry;
+  }
+  // Add c.
+  uint64_t carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    U128 cur = (U128)wide[i] + (i < 4 ? c.w[i] : 0) + carry;
+    wide[i] = (uint64_t)cur;
+    carry = (uint64_t)(cur >> 64);
+  }
+  return ScReduceWide(wide);
+}
+
+// ===========================================================================
+// RFC 8032 signing / verification.
+// ===========================================================================
+
+struct ExpandedKey {
+  uint8_t scalar[32];  // Clamped secret scalar a.
+  uint8_t prefix[32];  // Nonce-derivation prefix.
+  Ed25519PublicKey pk;
+};
+
+ExpandedKey Expand(const Ed25519Seed& seed) {
+  ExpandedKey key;
+  Sha512::Output h = Sha512::Hash(seed.data(), seed.size());
+  std::memcpy(key.scalar, h.data(), 32);
+  std::memcpy(key.prefix, h.data() + 32, 32);
+  key.scalar[0] &= 248;
+  key.scalar[31] &= 127;
+  key.scalar[31] |= 64;
+  Ge a = GeScalarMult(key.scalar, Curve().base);
+  GeCompress(key.pk.data(), a);
+  return key;
+}
+
+}  // namespace
+
+Ed25519PublicKey Ed25519Public(const Ed25519Seed& seed) { return Expand(seed).pk; }
+
+Ed25519Signature Ed25519Sign(const Ed25519Seed& seed, const uint8_t* msg, size_t len) {
+  ExpandedKey key = Expand(seed);
+
+  Sha512 h1;
+  h1.Update(key.prefix, 32);
+  h1.Update(msg, len);
+  Sha512::Output r_hash = h1.Finalize();
+  Sc r = ScFromBytesWide(r_hash.data());
+
+  uint8_t r_bytes[32];
+  ScToBytes(r_bytes, r);
+  Ge r_point = GeScalarMult(r_bytes, Curve().base);
+  uint8_t r_enc[32];
+  GeCompress(r_enc, r_point);
+
+  Sha512 h2;
+  h2.Update(r_enc, 32);
+  h2.Update(key.pk.data(), 32);
+  h2.Update(msg, len);
+  Sha512::Output k_hash = h2.Finalize();
+  Sc k = ScFromBytesWide(k_hash.data());
+
+  Sc a = ScFromBytes(key.scalar);  // a mod L; same point since B has order L.
+  Sc s = ScMulAdd(k, a, r);
+
+  Ed25519Signature sig;
+  std::memcpy(sig.data(), r_enc, 32);
+  ScToBytes(sig.data() + 32, s);
+  return sig;
+}
+
+bool Ed25519Verify(const Ed25519PublicKey& pk, const uint8_t* msg, size_t len,
+                   const Ed25519Signature& sig) {
+  // Reject S >= L (signature malleability).
+  Sc s;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      s.w[i] |= static_cast<uint64_t>(sig[32 + 8 * i + j]) << (8 * j);
+    }
+  }
+  if (ScCompare(s, GroupOrder()) >= 0) {
+    return false;
+  }
+
+  Ge a_point;
+  if (!GeDecompress(a_point, pk.data())) {
+    return false;
+  }
+  Ge r_point;
+  if (!GeDecompress(r_point, sig.data())) {
+    return false;
+  }
+
+  Sha512 h;
+  h.Update(sig.data(), 32);
+  h.Update(pk.data(), 32);
+  h.Update(msg, len);
+  Sha512::Output k_hash = h.Finalize();
+  Sc k = ScFromBytesWide(k_hash.data());
+  uint8_t k_bytes[32];
+  ScToBytes(k_bytes, k);
+
+  // Check [S]B == R + [k]A.
+  Ge lhs = GeScalarMult(sig.data() + 32, Curve().base);
+  Ge rhs = GeAdd(r_point, GeScalarMult(k_bytes, a_point));
+  uint8_t lhs_enc[32];
+  uint8_t rhs_enc[32];
+  GeCompress(lhs_enc, lhs);
+  GeCompress(rhs_enc, rhs);
+  return std::memcmp(lhs_enc, rhs_enc, 32) == 0;
+}
+
+Ed25519PublicKey Ed25519ScalarMultBase(const std::array<uint8_t, 32>& scalar) {
+  Ge p = GeScalarMult(scalar.data(), Curve().base);
+  Ed25519PublicKey out;
+  GeCompress(out.data(), p);
+  return out;
+}
+
+bool Ed25519PointOnCurve(const std::array<uint8_t, 32>& encoded) {
+  Ge p;
+  return GeDecompress(p, encoded.data());
+}
+
+std::array<uint8_t, 32> Ed25519GroupOrder() {
+  std::array<uint8_t, 32> out{};
+  ScToBytes(out.data(), GroupOrder());
+  return out;
+}
+
+}  // namespace nt

@@ -1,0 +1,71 @@
+#include "src/crypto/merkle.h"
+
+namespace nt {
+
+Digest MerkleTree::HashLeaf(const Digest& leaf) {
+  Sha256 h;
+  uint8_t tag = 0x00;
+  h.Update(&tag, 1);
+  h.Update(leaf.data(), leaf.size());
+  return h.Finalize();
+}
+
+Digest MerkleTree::HashNode(const Digest& left, const Digest& right) {
+  Sha256 h;
+  uint8_t tag = 0x01;
+  h.Update(&tag, 1);
+  h.Update(left.data(), left.size());
+  h.Update(right.data(), right.size());
+  return h.Finalize();
+}
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves) : leaf_count_(leaves.size()) {
+  if (leaves.empty()) {
+    return;  // Zero root.
+  }
+  std::vector<Digest> level;
+  level.reserve(leaves.size());
+  for (const Digest& leaf : leaves) {
+    level.push_back(HashLeaf(leaf));
+  }
+  levels_.push_back(level);
+  while (levels_.back().size() > 1) {
+    const std::vector<Digest>& below = levels_.back();
+    std::vector<Digest> above;
+    above.reserve((below.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < below.size(); i += 2) {
+      above.push_back(HashNode(below[i], below[i + 1]));
+    }
+    if (below.size() % 2 != 0) {
+      above.push_back(below.back());  // Promote the unpaired node unchanged.
+    }
+    levels_.push_back(std::move(above));
+  }
+  root_ = levels_.back().front();
+}
+
+MerkleTree::Proof MerkleTree::Prove(size_t index) const {
+  Proof proof;
+  size_t position = index;
+  for (size_t depth = 0; depth + 1 < levels_.size(); ++depth) {
+    const std::vector<Digest>& level = levels_[depth];
+    size_t sibling = position ^ 1;
+    if (sibling < level.size()) {
+      proof.push_back(ProofStep{level[sibling], /*sibling_on_left=*/(position % 2) == 1});
+    }
+    // With promotion, an unpaired node keeps its value and just moves up.
+    position /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::Verify(const Digest& root, const Digest& leaf, const Proof& proof) {
+  Digest current = HashLeaf(leaf);
+  for (const ProofStep& step : proof) {
+    current = step.sibling_on_left ? HashNode(step.sibling, current)
+                                   : HashNode(current, step.sibling);
+  }
+  return current == root;
+}
+
+}  // namespace nt

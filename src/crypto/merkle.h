@@ -1,0 +1,52 @@
+// Merkle tree accumulator over batch digests — the paper's §4.2 "Future
+// Bottlenecks" remedy: when a primary block would otherwise carry thousands
+// of 40-byte batch references, a single 32-byte root (plus on-demand
+// membership proofs) removes the primary's last scaling limit.
+//
+// Construction: domain-separated SHA-256 (leaf = H(0x00 || digest),
+// node = H(0x01 || left || right)); an unpaired node is promoted unchanged,
+// so no leaf is ever implicitly duplicated.
+#ifndef SRC_CRYPTO_MERKLE_H_
+#define SRC_CRYPTO_MERKLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/hash.h"
+
+namespace nt {
+
+class MerkleTree {
+ public:
+  struct ProofStep {
+    Digest sibling{};
+    bool sibling_on_left = false;
+  };
+  using Proof = std::vector<ProofStep>;
+
+  // Builds the tree over `leaves` (batch digests). An empty tree has the
+  // all-zero root.
+  explicit MerkleTree(std::vector<Digest> leaves);
+
+  const Digest& root() const { return root_; }
+  size_t leaf_count() const { return leaf_count_; }
+
+  // Membership proof for the leaf at `index` (must be < leaf_count()).
+  Proof Prove(size_t index) const;
+
+  // Verifies that `leaf` is a member under `root` with the given proof.
+  static bool Verify(const Digest& root, const Digest& leaf, const Proof& proof);
+
+  static Digest HashLeaf(const Digest& leaf);
+  static Digest HashNode(const Digest& left, const Digest& right);
+
+ private:
+  size_t leaf_count_ = 0;
+  // levels_[0] = hashed leaves; levels_.back() = {root}.
+  std::vector<std::vector<Digest>> levels_;
+  Digest root_{};
+};
+
+}  // namespace nt
+
+#endif  // SRC_CRYPTO_MERKLE_H_

@@ -1,0 +1,34 @@
+#include "src/exec/executor.h"
+
+namespace nt {
+
+void Executor::Drain() {
+  while (!queue_.empty()) {
+    const std::shared_ptr<const BlockHeader>& header = queue_.front();
+    // All batches must be available before this header executes — partial
+    // execution would fork replicas that receive data in different orders.
+    std::vector<std::shared_ptr<const Batch>> batches;
+    batches.reserve(header->batches.size());
+    bool complete = true;
+    for (const BatchRef& ref : header->batches) {
+      std::shared_ptr<const Batch> batch = source_(ref);
+      if (batch == nullptr) {
+        complete = false;
+        break;
+      }
+      batches.push_back(std::move(batch));
+    }
+    if (!complete) {
+      return;  // Strict order: wait for data, retry later.
+    }
+    for (const auto& batch : batches) {
+      for (const Bytes& tx : batch->txs) {
+        state_machine_->Apply(tx);
+      }
+    }
+    ++executed_headers_;
+    queue_.pop_front();
+  }
+}
+
+}  // namespace nt

@@ -1,0 +1,52 @@
+// Bridges the consensus output to the state machine: for each committed
+// header (in total order), locates the referenced batches' transaction data
+// — which Narwhal distributes across worker machines (§8.4) — and applies
+// every explicit transaction to the replica's KvStateMachine. Headers whose
+// batch data has not arrived yet are queued so execution order never
+// deviates from commit order.
+#ifndef SRC_EXEC_EXECUTOR_H_
+#define SRC_EXEC_EXECUTOR_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "src/exec/state_machine.h"
+#include "src/types/types.h"
+
+namespace nt {
+
+class Executor {
+ public:
+  // Resolves a batch reference to its content (e.g. the local worker's
+  // store); returns nullptr while unavailable.
+  using BatchSource = std::function<std::shared_ptr<const Batch>(const BatchRef&)>;
+
+  Executor(KvStateMachine* state_machine, BatchSource source)
+      : state_machine_(state_machine), source_(std::move(source)) {}
+
+  // Feed committed headers in commit order.
+  void OnCommittedHeader(std::shared_ptr<const BlockHeader> header) {
+    queue_.push_back(std::move(header));
+    Drain();
+  }
+
+  // Re-attempt execution after new batch data arrived.
+  void RetryPending() { Drain(); }
+
+  uint64_t executed_headers() const { return executed_headers_; }
+  uint64_t executed_txs() const { return state_machine_->applied() + state_machine_->rejected(); }
+  size_t pending_headers() const { return queue_.size(); }
+
+ private:
+  void Drain();
+
+  KvStateMachine* state_machine_;
+  BatchSource source_;
+  std::deque<std::shared_ptr<const BlockHeader>> queue_;
+  uint64_t executed_headers_ = 0;
+};
+
+}  // namespace nt
+
+#endif  // SRC_EXEC_EXECUTOR_H_

@@ -1,0 +1,138 @@
+// Chained HotStuff [38] with a LibraBFT-style pacemaker (paper §6: "we
+// implement the pacemaker module that is abstracted away following the
+// LibraBFT specification").
+//
+//  - Round-robin leaders; one proposal per view extending the highest QC.
+//  - Votes go to the next view's leader, who aggregates 2f+1 into a QC.
+//  - Safety: vote for a proposal iff it extends the locked block or its
+//    justify QC is newer than the lock; lock advances on 2-chains; commit on
+//    3-chains with direct parent links.
+//  - Liveness: per-view timers with exponential backoff; 2f+1 timeout
+//    messages form a timeout certificate that justifies the next view.
+//
+// The payload is pluggable (PayloadProvider), yielding baseline-HS,
+// Batched-HS, and Narwhal-HS from one consensus core.
+#ifndef SRC_HOTSTUFF_HOTSTUFF_H_
+#define SRC_HOTSTUFF_HOTSTUFF_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/hotstuff/messages.h"
+#include "src/hotstuff/payload.h"
+#include "src/net/network.h"
+#include "src/types/committee.h"
+
+namespace nt {
+
+struct HotStuffConfig {
+  // Initial per-view timeout; doubles per repeated timeout within the same
+  // view (capped) and resets when the view advances — LibraBFT-style
+  // progress-based backoff.
+  TimeDelta base_timeout = Seconds(1);
+  uint32_t max_backoff_doublings = 4;
+  // Retry delay for ancestor catch-up requests.
+  TimeDelta sync_retry_delay = Millis(300);
+};
+
+class HotStuff : public NetNode {
+ public:
+  HotStuff(ValidatorId id, const Committee& committee, const HotStuffConfig& config,
+           Network* network, Signer* signer, PayloadProvider* provider);
+
+  void set_net_id(uint32_t id) { net_id_ = id; }
+  void set_peers(std::vector<uint32_t> consensus_net_ids) { peers_ = std::move(consensus_net_ids); }
+
+  // Fired per committed block, in total order.
+  using CommitHook = std::function<void(const HsBlock& block, View view)>;
+  void set_on_commit(CommitHook hook) { on_commit_ = std::move(hook); }
+
+  // --- NetNode -----------------------------------------------------------------
+  void OnStart() override;
+  void OnMessage(uint32_t from, const MessagePtr& msg) override;
+
+  // --- introspection -------------------------------------------------------------
+  View current_view() const { return view_; }
+  uint64_t committed_blocks() const { return committed_count_; }
+  uint64_t timeouts_fired() const { return timeouts_fired_; }
+  ValidatorId LeaderOf(View view) const { return static_cast<ValidatorId>(view % committee_.size()); }
+
+ private:
+  struct VoteSet {
+    std::map<ValidatorId, Signature> votes;
+  };
+
+  // View lifecycle.
+  void EnterView(View view);
+  void MaybePropose();
+  void StartTimer();
+  void OnTimeout(View view);
+
+  // Proposal path.
+  void HandleProposal(uint32_t from, const MsgHsProposal& msg);
+  void TryVote(const Digest& digest);
+  void CastVote(const HsBlock& block, const Digest& digest);
+
+  // Vote/QC path.
+  void HandleVote(const MsgHsVote& msg);
+  void AdoptQc(const QuorumCert& qc);
+  void UpdateChain(const HsBlock& block);
+  void CommitUpTo(const Digest& digest);
+
+  // Timeout path.
+  void HandleTimeout(const MsgHsTimeout& msg);
+
+  // Ancestor catch-up.
+  void RequestBlock(const Digest& digest, uint32_t hint);
+  bool HaveAncestors(const HsBlock& block) const;
+  bool Extends(const Digest& descendant, const Digest& ancestor) const;
+
+  const HsBlock* GetBlock(const Digest& digest) const;
+  void Broadcast(const MessagePtr& msg);
+
+  ValidatorId id_;
+  const Committee& committee_;
+  HotStuffConfig config_;
+  Network* network_;
+  Signer* signer_;
+  PayloadProvider* provider_;
+  uint32_t net_id_ = 0;
+  std::vector<uint32_t> peers_;  // Indexed by validator id (own id included).
+
+  View view_ = 1;
+  bool proposed_in_view_ = false;
+  View last_voted_view_ = 0;
+  uint32_t consecutive_timeouts_ = 0;
+  uint32_t fetch_rotation_ = 0;
+  Scheduler::TimerId view_timer_ = Scheduler::kInvalidTimer;
+
+  QuorumCert high_qc_;          // Genesis QC initially.
+  std::optional<TimeoutCert> last_tc_;
+  Digest locked_block_{};       // Genesis digest (zero).
+  View locked_view_ = 0;
+
+  std::map<Digest, std::shared_ptr<const HsBlock>> blocks_;
+  std::set<Digest> committed_;
+  Digest last_committed_{};  // Genesis.
+
+  // Votes collected by this node as leader: (view, digest) -> votes.
+  std::map<std::pair<View, Digest>, VoteSet> vote_sets_;
+  // Timeout messages per view.
+  std::map<View, std::map<ValidatorId, Signature>> timeout_sets_;
+
+  // Proposals deferred on payload availability or missing ancestors.
+  std::map<Digest, std::shared_ptr<const HsBlock>> deferred_;
+  std::set<Digest> payload_pending_;
+  std::set<Digest> fetching_blocks_;
+
+  CommitHook on_commit_;
+  uint64_t committed_count_ = 0;
+  uint64_t timeouts_fired_ = 0;
+};
+
+}  // namespace nt
+
+#endif  // SRC_HOTSTUFF_HOTSTUFF_H_

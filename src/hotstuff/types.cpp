@@ -1,0 +1,125 @@
+#include "src/hotstuff/types.h"
+
+#include <set>
+
+namespace nt {
+
+// ----------------------------------------------------------------- HsPayload
+
+void HsPayload::Encode(Writer& w) const {
+  w.PutU8(static_cast<uint8_t>(kind));
+  w.PutU64(num_txs);
+  w.PutU64(payload_bytes);
+  w.PutU32(static_cast<uint32_t>(samples.size()));
+  for (const TxSample& s : samples) {
+    w.PutU64(s.tx_id);
+    w.PutI64(s.submit_time);
+  }
+  w.PutU32(static_cast<uint32_t>(batch_digests.size()));
+  for (const Digest& d : batch_digests) {
+    w.PutRaw(d);
+  }
+  w.PutU32(static_cast<uint32_t>(certs.size()));
+  for (const Certificate& c : certs) {
+    c.Encode(w);
+  }
+}
+
+size_t HsPayload::WireSize() const {
+  size_t size = 1 + 8 + 8 + 12;
+  switch (kind) {
+    case Kind::kTransactions:
+      // Raw transactions ride in the proposal.
+      size += payload_bytes + samples.size() * 16;
+      break;
+    case Kind::kBatchDigests:
+      size += batch_digests.size() * 32;
+      break;
+    case Kind::kCertificates:
+      for (const Certificate& c : certs) {
+        size += c.WireSize();
+      }
+      break;
+  }
+  return size;
+}
+
+// ---------------------------------------------------------------- QuorumCert
+
+Bytes QuorumCert::VotePreimage(const Digest& block_digest, View view) {
+  Writer w;
+  w.PutString("hotstuff-vote");
+  w.PutRaw(block_digest);
+  w.PutU64(view);
+  return w.Take();
+}
+
+bool QuorumCert::Verify(const Committee& committee, const Signer& verifier) const {
+  if (IsGenesis()) {
+    return true;
+  }
+  if (votes.size() < committee.quorum_threshold()) {
+    return false;
+  }
+  std::set<ValidatorId> seen;
+  Bytes preimage = VotePreimage(block_digest, view);
+  for (const auto& [voter, sig] : votes) {
+    if (!committee.Contains(voter) || !seen.insert(voter).second) {
+      return false;
+    }
+    if (!verifier.Verify(committee.key_of(voter), preimage, sig)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- TimeoutCert
+
+Bytes TimeoutCert::VotePreimage(View view) {
+  Writer w;
+  w.PutString("hotstuff-timeout");
+  w.PutU64(view);
+  return w.Take();
+}
+
+bool TimeoutCert::Verify(const Committee& committee, const Signer& verifier) const {
+  if (votes.size() < committee.quorum_threshold()) {
+    return false;
+  }
+  std::set<ValidatorId> seen;
+  Bytes preimage = VotePreimage(view);
+  for (const auto& [voter, sig] : votes) {
+    if (!committee.Contains(voter) || !seen.insert(voter).second) {
+      return false;
+    }
+    if (!verifier.Verify(committee.key_of(voter), preimage, sig)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------- HsBlock
+
+Digest HsBlock::ComputeDigest() const {
+  Writer w;
+  w.PutString("hotstuff-block");
+  w.PutU32(author);
+  w.PutU64(view);
+  w.PutRaw(parent);
+  w.PutRaw(justify.block_digest);
+  w.PutU64(justify.view);
+  payload.Encode(w);
+  return Sha256::Hash(w.bytes());
+}
+
+size_t HsBlock::WireSize() const {
+  size_t size = 4 + 8 + 32 + 64 + justify.WireSize() + payload.WireSize();
+  if (tc.has_value()) {
+    size += tc->WireSize();
+  }
+  return size;
+}
+
+}  // namespace nt

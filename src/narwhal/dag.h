@@ -1,0 +1,94 @@
+// The local certificate DAG (paper Fig. 2): per-round certificates of
+// availability plus the headers that carry the causal edges, with round-
+// based garbage collection (§3.3) and the deterministic causal-history
+// linearization both Tusk and Narwhal-HotStuff use after agreeing on an
+// anchor certificate (§3.2, §5).
+#ifndef SRC_NARWHAL_DAG_H_
+#define SRC_NARWHAL_DAG_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/types/types.h"
+
+namespace nt {
+
+class Dag {
+ public:
+  // Adds a certificate. Returns false (and keeps the first) if a conflicting
+  // certificate for the same (round, author) already exists — impossible
+  // with an honest quorum, checked defensively. Idempotent for duplicates.
+  bool AddCertificate(const Certificate& cert);
+
+  // Stores the header for a certificate (carries the causal edges and batch
+  // references).
+  void AddHeader(std::shared_ptr<const BlockHeader> header, const Digest& digest);
+
+  const Certificate* GetCert(Round round, ValidatorId author) const;
+  const Certificate* GetCertByDigest(const Digest& header_digest) const;
+  std::shared_ptr<const BlockHeader> GetHeader(const Digest& header_digest) const;
+  bool HasHeader(const Digest& header_digest) const { return headers_.count(header_digest) != 0; }
+
+  // Certificates stored for a round (empty map if none).
+  const std::map<ValidatorId, Certificate>& CertsAt(Round round) const;
+  size_t CertCountAt(Round round) const { return CertsAt(round).size(); }
+
+  // Highest round with at least one certificate (0 if empty).
+  Round HighestRound() const { return by_round_.empty() ? 0 : by_round_.rbegin()->first; }
+
+  // --- garbage collection ----------------------------------------------------
+
+  Round gc_round() const { return gc_round_; }
+
+  // A record evicted by garbage collection: everything a cold store (the
+  // paper's §3.3 CDN offload) needs to keep serving the block.
+  struct Collected {
+    Digest digest{};
+    Certificate cert;
+    std::shared_ptr<const BlockHeader> header;  // May be null if never synced.
+  };
+
+  // Drops all certificates and headers with round < `new_gc_round`,
+  // returning the evicted records (re-injection + archival).
+  std::vector<Collected> GarbageCollect(Round new_gc_round);
+
+  // --- traversal ---------------------------------------------------------------
+
+  // True iff a path of parent edges exists from `from` down to `to`
+  // (both are header digests; edges require stored headers).
+  bool HasPath(const Digest& from, const Digest& to) const;
+
+  struct History {
+    // Headers in deterministic commit order: (round asc, author asc);
+    // the anchor is always last.
+    std::vector<Digest> ordered;
+    // Headers referenced by the history but not yet stored locally — the
+    // caller must sync them before committing.
+    std::vector<Digest> missing;
+  };
+
+  // Collects the anchor's causal history down to the GC round, excluding
+  // digests in `committed`. If any header on the way is missing, `missing`
+  // is non-empty and `ordered` must not be committed yet.
+  History CollectCausalHistory(const Digest& anchor, const std::set<Digest>& committed) const;
+
+  size_t TotalCertificates() const { return by_digest_.size(); }
+  size_t TotalHeaders() const { return headers_.size(); }
+
+  // Read-only view of all stored headers (mempool facade, metrics).
+  const std::map<Digest, std::shared_ptr<const BlockHeader>>& headers() const { return headers_; }
+
+ private:
+  Round gc_round_ = 0;
+  // round -> author -> certificate.
+  std::map<Round, std::map<ValidatorId, Certificate>> by_round_;
+  // header digest -> (round, author), for digest lookups.
+  std::map<Digest, std::pair<Round, ValidatorId>> by_digest_;
+  std::map<Digest, std::shared_ptr<const BlockHeader>> headers_;
+};
+
+}  // namespace nt
+
+#endif  // SRC_NARWHAL_DAG_H_

@@ -1,0 +1,34 @@
+#include "src/narwhal/mempool.h"
+
+namespace nt {
+
+Digest Mempool::Write(std::vector<Bytes> txs) { return worker_->SubmitBlock(std::move(txs)); }
+
+std::optional<Certificate> Mempool::CertificateFor(const Digest& batch_digest) const {
+  const Dag& dag = primary_->dag();
+  for (const auto& [header_digest, header] : dag.headers()) {
+    for (const BatchRef& ref : header->batches) {
+      if (ref.digest == batch_digest) {
+        const Certificate* cert = dag.GetCertByDigest(header_digest);
+        if (cert != nullptr) {
+          return *cert;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool Mempool::IsWriteCertified(const Digest& batch_digest) const {
+  return CertificateFor(batch_digest).has_value();
+}
+
+std::vector<Digest> Mempool::ReadCausal(const Digest& header_digest) const {
+  Dag::History history = primary_->dag().CollectCausalHistory(header_digest, {});
+  if (!history.missing.empty()) {
+    return {};
+  }
+  return history.ordered;
+}
+
+}  // namespace nt

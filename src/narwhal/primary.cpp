@@ -1,0 +1,513 @@
+#include "src/narwhal/primary.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/narwhal/archive.h"
+
+namespace nt {
+
+Primary::Primary(ValidatorId id, const Committee& committee, const NarwhalConfig& config,
+                 Network* network, const Topology* topology, Signer* signer)
+    : id_(id),
+      committee_(committee),
+      config_(config),
+      network_(network),
+      topology_(topology),
+      signer_(signer) {}
+
+void Primary::OnStart() {
+  // Genesis (paper §3.1): every validator creates and certifies an empty
+  // block for round 0; round-1 blocks reference 2f+1 of their certificates.
+  ProposeNow();
+}
+
+// ---------------------------------------------------------------- proposing
+
+void Primary::TryAdvanceRound() {
+  bool advanced = false;
+  while (dag_.CertCountAt(round_) >= committee_.quorum_threshold()) {
+    ++round_;
+    advanced = true;
+  }
+  if (!advanced) {
+    return;
+  }
+  proposed_current_round_ = false;
+  if (propose_timer_ != Scheduler::kInvalidTimer) {
+    network_->scheduler()->Cancel(propose_timer_);
+    propose_timer_ = Scheduler::kInvalidTimer;
+  }
+  SchedulePropose();
+}
+
+void Primary::SchedulePropose() {
+  if (proposed_current_round_) {
+    return;
+  }
+  if (!pending_batches_.empty()) {
+    ProposeNow();
+    return;
+  }
+  // No payload yet: wait up to max_header_delay for worker batches, then
+  // propose an empty header to keep the DAG advancing.
+  if (propose_timer_ == Scheduler::kInvalidTimer) {
+    propose_timer_ =
+        network_->scheduler()->ScheduleAfter(config_.max_header_delay, [this] {
+          propose_timer_ = Scheduler::kInvalidTimer;
+          ProposeNow();
+        });
+  }
+}
+
+void Primary::ProposeNow() {
+  if (proposed_current_round_) {
+    return;
+  }
+  if (propose_timer_ != Scheduler::kInvalidTimer) {
+    network_->scheduler()->Cancel(propose_timer_);
+    propose_timer_ = Scheduler::kInvalidTimer;
+  }
+
+  auto header = std::make_shared<BlockHeader>();
+  header->author = id_;
+  header->round = round_;
+  if (round_ > 0) {
+    for (const auto& [author, cert] : dag_.CertsAt(round_ - 1)) {
+      header->parents.push_back(cert);
+    }
+    if (header->parents.size() < committee_.quorum_threshold()) {
+      return;  // Cannot propose yet (caller guarantees this normally).
+    }
+  }
+  while (!pending_batches_.empty()) {
+    header->batches.push_back(pending_batches_.front());
+    pending_batches_.pop_front();
+  }
+
+  Digest digest = header->ComputeDigest();
+  header->author_sig = signer_->Sign(digest);
+  proposed_current_round_ = true;
+  ++headers_proposed_;
+
+  std::vector<BatchRef> refs = header->batches;
+  for (const BatchRef& ref : refs) {
+    included_batches_.insert(ref.digest);
+  }
+  own_headers_[digest] = std::move(refs);
+
+  StoreHeader(header, digest);
+
+  // Self-vote, then reliable-broadcast the header to all other primaries.
+  Proposal& proposal = proposals_[digest];
+  proposal.header = header;
+  proposal.digest = digest;
+  proposal.votes[id_] =
+      signer_->Sign(Certificate::VotePreimage(digest, header->round, header->author));
+
+  auto msg = std::make_shared<MsgHeader>(header, digest);
+  for (ValidatorId v = 0; v < committee_.size(); ++v) {
+    if (v != id_) {
+      network_->Send(net_id_, topology_->primary_of[v], msg);
+    }
+  }
+  network_->scheduler()->ScheduleAfter(config_.header_retry_delay,
+                                       [this, digest, r = header->round] {
+                                         RetryBroadcast(digest, r);
+                                       });
+  // n = 1 degenerate committees certify immediately.
+  if (proposal.votes.size() >= committee_.quorum_threshold()) {
+    FormCertificate(proposal);
+  }
+}
+
+void Primary::RetryBroadcast(Digest digest, Round round) {
+  // The paper's §6 re-transmission: stored messages are re-sent until "no
+  // more needed to make progress" — here, until the round advances past the
+  // proposal's round, at which point the DAG no longer needs it.
+  if (round_ > round) {
+    return;
+  }
+  uint32_t retries = 0;
+  auto it = proposals_.find(digest);
+  if (it != proposals_.end()) {
+    // Still uncertified: resend the header to validators that have not voted.
+    Proposal& proposal = it->second;
+    retries = ++proposal.retries;
+    auto msg = std::make_shared<MsgHeader>(proposal.header, digest);
+    for (ValidatorId v = 0; v < committee_.size(); ++v) {
+      if (v != id_ && proposal.votes.count(v) == 0) {
+        network_->Send(net_id_, topology_->primary_of[v], msg);
+      }
+    }
+  } else if (const Certificate* cert = dag_.GetCertByDigest(digest)) {
+    // Certified but the round is stuck: some peers may have missed the
+    // certificate; re-share it so the threshold clock can tick.
+    auto msg = std::make_shared<MsgCertificate>(*cert);
+    for (ValidatorId v = 0; v < committee_.size(); ++v) {
+      if (v != id_) {
+        network_->Send(net_id_, topology_->primary_of[v], msg);
+      }
+    }
+  } else {
+    return;  // GC'd: no longer needed.
+  }
+  TimeDelta delay = config_.header_retry_delay << std::min(retries, 5u);
+  network_->scheduler()->ScheduleAfter(
+      delay, [this, digest, round] { RetryBroadcast(digest, round); });
+}
+
+// ------------------------------------------------------------------- voting
+
+void Primary::HandleHeader(uint32_t from, const MsgHeader& msg) {
+  const BlockHeader& header = *msg.header;
+  if (header.round < dag_.gc_round()) {
+    return;  // Below GC horizon (paper §3.3).
+  }
+  if (!committee_.Contains(header.author)) {
+    return;
+  }
+  if (msg.digest != header.ComputeDigest() ||
+      !signer_->Verify(committee_.key_of(header.author), msg.digest, header.author_sig)) {
+    LOG_WARN() << "header with bad digest/signature from validator " << header.author;
+    return;
+  }
+
+  // Validate and ingest parents: >= 2f+1 distinct certificates of round-1.
+  if (header.round > 0) {
+    std::set<ValidatorId> parent_authors;
+    for (const Certificate& parent : header.parents) {
+      if (parent.round + 1 != header.round) {
+        return;  // Malformed: parents must be exactly one round back.
+      }
+      parent_authors.insert(parent.author);
+    }
+    if (parent_authors.size() < committee_.quorum_threshold()) {
+      return;
+    }
+    for (const Certificate& parent : header.parents) {
+      if (!AcceptCertificate(parent, /*request_header_if_missing=*/true)) {
+        return;  // Invalid parent certificate: reject the header.
+      }
+    }
+  }
+
+  // One vote per (author, round). A duplicate of the header we already voted
+  // for means our vote may have been lost: re-send the identical vote
+  // (deterministic signatures make this safe). A *different* header is
+  // equivocation and gets nothing.
+  auto& voted_round = voted_[header.round];
+  auto voted_it = voted_round.find(header.author);
+  if (voted_it != voted_round.end()) {
+    if (voted_it->second == msg.digest && dag_.HasHeader(msg.digest)) {
+      PendingHeader again;
+      again.header = msg.header;
+      again.digest = msg.digest;
+      again.from = from;
+      FinishVote(again);
+    }
+    return;
+  }
+  voted_round.emplace(header.author, msg.digest);
+
+  PendingHeader pending;
+  pending.header = msg.header;
+  pending.digest = msg.digest;
+  pending.from = from;
+  // Availability condition (paper §4.2): only sign if our own workers store
+  // every referenced batch; otherwise instruct them to fetch and defer.
+  for (const BatchRef& ref : header.batches) {
+    if (stored_batches_.count(ref.digest) == 0) {
+      pending.missing_batches.insert(ref.digest);
+    }
+  }
+  if (pending.missing_batches.empty()) {
+    FinishVote(pending);
+    return;
+  }
+  for (const Digest& missing : pending.missing_batches) {
+    batch_waiters_[missing].insert(pending.digest);
+    WorkerId worker = 0;
+    for (const BatchRef& ref : header.batches) {
+      if (ref.digest == missing) {
+        worker = ref.worker;
+        break;
+      }
+    }
+    uint32_t worker_index = worker % topology_->workers_per_validator();
+    network_->Send(net_id_, topology_->worker_of[id_][worker_index],
+                   std::make_shared<MsgFetchBatch>(missing, header.author, worker));
+  }
+  waiting_batches_[pending.digest] = std::move(pending);
+}
+
+void Primary::FinishVote(const PendingHeader& pending) {
+  const BlockHeader& header = *pending.header;
+  StoreHeader(pending.header, pending.digest);
+
+  Vote vote;
+  vote.header_digest = pending.digest;
+  vote.round = header.round;
+  vote.author = header.author;
+  vote.voter = id_;
+  vote.sig = signer_->Sign(Certificate::VotePreimage(pending.digest, header.round, header.author));
+  ++votes_cast_;
+  network_->Send(net_id_, topology_->primary_of[header.author], std::make_shared<MsgVote>(vote));
+}
+
+// ------------------------------------------------------- votes -> certificates
+
+void Primary::HandleVote(const Vote& vote) {
+  auto it = proposals_.find(vote.header_digest);
+  if (it == proposals_.end()) {
+    return;  // Not an outstanding proposal (already certified or foreign).
+  }
+  Proposal& proposal = it->second;
+  if (vote.round != proposal.header->round || vote.author != id_) {
+    return;  // Vote fields inconsistent with the proposal (Byzantine voter).
+  }
+  if (proposal.votes.count(vote.voter) != 0) {
+    return;
+  }
+  if (!vote.Verify(committee_, *signer_)) {
+    LOG_WARN() << "invalid vote from " << vote.voter;
+    return;
+  }
+  proposal.votes[vote.voter] = vote.sig;
+  if (proposal.votes.size() >= committee_.quorum_threshold()) {
+    FormCertificate(proposal);
+  }
+}
+
+void Primary::FormCertificate(Proposal& proposal) {
+  Certificate cert;
+  cert.header_digest = proposal.digest;
+  cert.round = proposal.header->round;
+  cert.author = id_;
+  for (const auto& [voter, sig] : proposal.votes) {
+    if (cert.votes.size() >= committee_.quorum_threshold()) {
+      break;
+    }
+    cert.votes.emplace_back(voter, sig);
+  }
+  ++certs_formed_;
+  Digest digest = proposal.digest;  // Copy: erasing invalidates `proposal`.
+  proposals_.erase(digest);
+
+  AcceptCertificate(cert, /*request_header_if_missing=*/false);
+
+  auto msg = std::make_shared<MsgCertificate>(cert);
+  for (ValidatorId v = 0; v < committee_.size(); ++v) {
+    if (v != id_) {
+      network_->Send(net_id_, topology_->primary_of[v], msg);
+    }
+  }
+}
+
+// ----------------------------------------------------------- certificate intake
+
+bool Primary::AcceptCertificate(const Certificate& cert, bool request_header_if_missing) {
+  if (cert.round < dag_.gc_round()) {
+    return true;  // Stale but not invalid.
+  }
+  if (const Certificate* known = dag_.GetCertByDigest(cert.header_digest)) {
+    (void)known;
+    return true;  // Already verified and stored.
+  }
+  if (!cert.Verify(committee_, *signer_)) {
+    LOG_WARN() << "invalid certificate for round " << cert.round;
+    return false;
+  }
+  if (!dag_.AddCertificate(cert)) {
+    return false;  // Equivocation (cannot happen with honest quorum).
+  }
+  if (request_header_if_missing && !dag_.HasHeader(cert.header_digest)) {
+    RequestHeader(cert.header_digest);
+  }
+  if (on_certificate_) {
+    on_certificate_(cert);
+  }
+  TryAdvanceRound();
+  return true;
+}
+
+// ------------------------------------------------------------ header synchronizer
+
+void Primary::RequestHeader(const Digest& digest) {
+  if (header_sync_.count(digest) != 0 || dag_.HasHeader(digest)) {
+    return;
+  }
+  const Certificate* cert = dag_.GetCertByDigest(digest);
+  if (cert == nullptr) {
+    return;
+  }
+  HeaderSync sync;
+  sync.cert = *cert;
+  header_sync_[digest] = std::move(sync);
+  RetryHeaderSync(digest);
+}
+
+void Primary::RetryHeaderSync(const Digest& digest) {
+  auto it = header_sync_.find(digest);
+  if (it == header_sync_.end()) {
+    return;
+  }
+  HeaderSync& sync = it->second;
+  // Ask the certificate's signers in turn: at least f+1 of them are honest
+  // and store the header (paper §4.1), so O(1) probes suffice on average.
+  const auto& voters = sync.cert.votes;
+  ValidatorId target = voters[sync.attempts % voters.size()].first;
+  if (target == id_) {
+    target = voters[(sync.attempts + 1) % voters.size()].first;
+  }
+  ++sync.attempts;
+  network_->Send(net_id_, topology_->primary_of[target], std::make_shared<MsgCertRequest>(digest));
+  TimeDelta delay = config_.sync_retry_delay << std::min(sync.attempts, 6u);
+  network_->scheduler()->ScheduleAfter(delay, [this, digest] { RetryHeaderSync(digest); });
+}
+
+void Primary::StoreHeader(std::shared_ptr<const BlockHeader> header, const Digest& digest) {
+  if (dag_.HasHeader(digest)) {
+    return;
+  }
+  dag_.AddHeader(std::move(header), digest);
+  header_sync_.erase(digest);
+  if (on_header_stored_) {
+    on_header_stored_(digest);
+  }
+}
+
+// ----------------------------------------------------------------- GC & commit
+
+void Primary::SetGcRound(Round gc_round) {
+  // Re-inject own batches whose headers fell below the horizon uncommitted
+  // (paper §3.3: transaction-level fairness), and offload evicted rounds to
+  // the cold archive if one is attached (§3.3: CDN offload).
+  std::vector<Dag::Collected> collected = dag_.GarbageCollect(gc_round);
+  std::set<Digest> collected_set;
+  for (const Dag::Collected& record : collected) {
+    collected_set.insert(record.digest);
+    if (archive_ != nullptr) {
+      archive_->Put(record);
+    }
+  }
+  for (auto it = own_headers_.begin(); it != own_headers_.end();) {
+    if (collected_set.count(it->first) != 0) {
+      for (const BatchRef& ref : it->second) {
+        if (committed_batches_.count(ref.digest) == 0) {
+          pending_batches_.push_back(ref);
+          ++reinjected_batches_;
+        }
+      }
+      it = own_headers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  voted_.erase(voted_.begin(), voted_.lower_bound(gc_round));
+  for (auto it = waiting_batches_.begin(); it != waiting_batches_.end();) {
+    if (it->second.header->round < gc_round) {
+      it = waiting_batches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = proposals_.begin(); it != proposals_.end();) {
+    if (it->second.header->round < gc_round) {
+      it = proposals_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = header_sync_.begin(); it != header_sync_.end();) {
+    if (it->second.cert.round < gc_round) {
+      it = header_sync_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Primary::NotifyCommitted(const BlockHeader& header) {
+  for (const BatchRef& ref : header.batches) {
+    committed_batches_.insert(ref.digest);
+  }
+  if (header.author == id_) {
+    own_headers_.erase(header.ComputeDigest());
+  }
+}
+
+// ------------------------------------------------------------------ dispatch
+
+void Primary::OnMessage(uint32_t from, const MessagePtr& msg) {
+  if (auto header = std::dynamic_pointer_cast<const MsgHeader>(msg)) {
+    HandleHeader(from, *header);
+    return;
+  }
+  if (auto vote = std::dynamic_pointer_cast<const MsgVote>(msg)) {
+    HandleVote(vote->vote);
+    return;
+  }
+  if (auto cert = std::dynamic_pointer_cast<const MsgCertificate>(msg)) {
+    AcceptCertificate(cert->cert, /*request_header_if_missing=*/true);
+    return;
+  }
+  if (auto ready = std::dynamic_pointer_cast<const MsgBatchReady>(msg)) {
+    // Own worker: batch reached an availability quorum.
+    stored_batches_.insert(ready->ref.digest);
+    if (included_batches_.count(ready->ref.digest) == 0) {
+      pending_batches_.push_back(ready->ref);
+    }
+    if (!proposed_current_round_) {
+      SchedulePropose();
+    }
+    return;
+  }
+  if (auto stored = std::dynamic_pointer_cast<const MsgBatchStored>(msg)) {
+    stored_batches_.insert(stored->digest);
+    // Release headers that were waiting on this batch.
+    auto waiters = batch_waiters_.find(stored->digest);
+    if (waiters == batch_waiters_.end()) {
+      return;
+    }
+    std::set<Digest> headers = std::move(waiters->second);
+    batch_waiters_.erase(waiters);
+    for (const Digest& header_digest : headers) {
+      auto it = waiting_batches_.find(header_digest);
+      if (it == waiting_batches_.end()) {
+        continue;
+      }
+      it->second.missing_batches.erase(stored->digest);
+      if (it->second.missing_batches.empty()) {
+        PendingHeader pending = std::move(it->second);
+        waiting_batches_.erase(it);
+        FinishVote(pending);
+      }
+    }
+    return;
+  }
+  if (auto request = std::dynamic_pointer_cast<const MsgCertRequest>(msg)) {
+    const Certificate* cert = dag_.GetCertByDigest(request->digest);
+    auto header = dag_.GetHeader(request->digest);
+    if (cert != nullptr && header != nullptr) {
+      network_->Send(net_id_, from, std::make_shared<MsgCertResponse>(*cert, header));
+    }
+    return;
+  }
+  if (auto response = std::dynamic_pointer_cast<const MsgCertResponse>(msg)) {
+    if (response->header == nullptr) {
+      return;
+    }
+    Digest digest = response->header->ComputeDigest();
+    if (digest != response->cert.header_digest) {
+      LOG_WARN() << "cert response header/cert mismatch";
+      return;
+    }
+    if (AcceptCertificate(response->cert, /*request_header_if_missing=*/false)) {
+      StoreHeader(response->header, digest);
+    }
+    return;
+  }
+}
+
+}  // namespace nt

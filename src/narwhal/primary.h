@@ -1,0 +1,187 @@
+// The Narwhal primary (paper §3.1, §4): builds the certificate DAG.
+//
+// Responsibilities:
+//  - advance the local round once 2f+1 certificates of the previous round
+//    are known (BFT threshold clock);
+//  - propose one header per round referencing quorum-acked worker batches
+//    and >= 2f+1 parent certificates;
+//  - validate and vote on other validators' headers (first-per-author-per-
+//    round, valid parents, referenced batches stored by our workers);
+//  - assemble 2f+1 votes into certificates of availability and broadcast
+//    them;
+//  - pull-sync missing headers from certificate signers (§4.1) and missing
+//    batches through its workers (§4.2);
+//  - garbage-collect rounds below the consensus-agreed horizon and re-inject
+//    own batches whose headers were collected uncommitted (§3.3).
+//
+// The consensus layer (Tusk or HotStuff) observes the DAG through hooks and
+// feeds back commit/GC information; the primary never sends consensus
+// messages itself.
+#ifndef SRC_NARWHAL_PRIMARY_H_
+#define SRC_NARWHAL_PRIMARY_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/narwhal/config.h"
+#include "src/narwhal/dag.h"
+#include "src/narwhal/worker.h"
+#include "src/net/network.h"
+#include "src/types/committee.h"
+#include "src/types/messages.h"
+
+namespace nt {
+
+class Primary : public NetNode {
+ public:
+  Primary(ValidatorId id, const Committee& committee, const NarwhalConfig& config,
+          Network* network, const Topology* topology, Signer* signer);
+
+  void set_net_id(uint32_t id) { net_id_ = id; }
+
+  // --- consensus-layer interface ----------------------------------------------
+
+  // Fired whenever a new certificate enters the local DAG (own or remote).
+  void set_on_certificate(std::function<void(const Certificate&)> hook) {
+    on_certificate_ = std::move(hook);
+  }
+  // Fired whenever a header becomes locally available (vote path or sync).
+  void set_on_header_stored(std::function<void(const Digest&)> hook) {
+    on_header_stored_ = std::move(hook);
+  }
+
+  const Dag& dag() const { return dag_; }
+  Round round() const { return round_; }
+  ValidatorId id() const { return id_; }
+
+  // Consensus agreed on a GC horizon: drop rounds below it and re-inject own
+  // uncommitted batches (paper §3.3).
+  void SetGcRound(Round gc_round);
+
+  // Consensus committed this header; its batches need no re-injection.
+  void NotifyCommitted(const BlockHeader& header);
+
+  // Consensus is missing a header for a known certificate: pull it from the
+  // certificate's signers (no-op if already stored or already being pulled).
+  void SyncHeader(const Digest& header_digest) { RequestHeader(header_digest); }
+
+  // Attaches a cold archive that receives rounds evicted by garbage
+  // collection (paper §3.3 offload). Optional; owned by the caller.
+  void set_archive(class Archive* archive) { archive_ = archive; }
+
+  // Validates and stores a certificate learned out-of-band (e.g. from a
+  // HotStuff proposal), pulling its header if missing. Returns false only
+  // for invalid certificates.
+  bool IngestCertificate(const Certificate& cert) {
+    return AcceptCertificate(cert, /*request_header_if_missing=*/true);
+  }
+
+  // --- NetNode ------------------------------------------------------------------
+  void OnStart() override;
+  void OnMessage(uint32_t from, const MessagePtr& msg) override;
+
+  // --- introspection (tests, metrics) ---------------------------------------------
+  uint64_t headers_proposed() const { return headers_proposed_; }
+  // Test-only: lets protocol tests stage DAG states directly.
+  Dag& mutable_dag() { return dag_; }
+  uint64_t certs_formed() const { return certs_formed_; }
+  uint64_t votes_cast() const { return votes_cast_; }
+  uint64_t reinjected_batches() const { return reinjected_batches_; }
+  size_t pending_payload() const { return pending_batches_.size(); }
+
+ private:
+  struct Proposal {
+    std::shared_ptr<const BlockHeader> header;
+    Digest digest{};
+    std::map<ValidatorId, Signature> votes;
+    uint32_t retries = 0;
+  };
+  struct PendingHeader {
+    std::shared_ptr<const BlockHeader> header;
+    Digest digest{};
+    uint32_t from = 0;
+    std::set<Digest> missing_batches;
+  };
+  struct HeaderSync {
+    uint32_t attempts = 0;
+    Certificate cert;
+  };
+
+  // Round/proposal machinery.
+  void TryAdvanceRound();
+  void SchedulePropose();
+  void ProposeNow();
+  void RetryBroadcast(Digest digest, Round round);
+
+  // Header validation & voting.
+  void HandleHeader(uint32_t from, const MsgHeader& msg);
+  void FinishVote(const PendingHeader& pending);
+
+  // Votes -> certificates.
+  void HandleVote(const Vote& vote);
+  void FormCertificate(Proposal& proposal);
+
+  // Certificate intake (returns true if the certificate is new and valid).
+  bool AcceptCertificate(const Certificate& cert, bool request_header_if_missing);
+
+  // Pull synchronizer for missing headers.
+  void RequestHeader(const Digest& digest);
+  void RetryHeaderSync(const Digest& digest);
+
+  void StoreHeader(std::shared_ptr<const BlockHeader> header, const Digest& digest);
+
+  ValidatorId id_;
+  const Committee& committee_;
+  NarwhalConfig config_;
+  Network* network_;
+  const Topology* topology_;
+  Signer* signer_;
+  uint32_t net_id_ = 0;
+
+  Dag dag_;
+  Round round_ = 0;
+  bool proposed_current_round_ = false;
+  Scheduler::TimerId propose_timer_ = Scheduler::kInvalidTimer;
+
+  // Quorum-acked own batches awaiting inclusion.
+  std::deque<BatchRef> pending_batches_;
+  // Digests already assigned to a header (avoid double inclusion).
+  std::set<Digest> included_batches_;
+  // Batches our own workers report stored (any author).
+  std::set<Digest> stored_batches_;
+
+  // Outstanding own proposals: header digest -> votes.
+  std::map<Digest, Proposal> proposals_;
+  // (round -> author -> header digest voted for): at most one vote per
+  // author per round; the digest lets us re-send the same vote when the
+  // proposer retransmits (vote messages may be lost).
+  std::map<Round, std::map<ValidatorId, Digest>> voted_;
+
+  // Headers deferred on missing batches.
+  std::map<Digest, PendingHeader> waiting_batches_;
+  std::map<Digest, std::set<Digest>> batch_waiters_;  // batch -> headers.
+
+  // Headers being pulled from certificate signers.
+  std::map<Digest, HeaderSync> header_sync_;
+
+  // Own headers' batch refs, for re-injection: header digest -> refs.
+  std::map<Digest, std::vector<BatchRef>> own_headers_;
+  std::set<Digest> committed_batches_;
+
+  std::function<void(const Certificate&)> on_certificate_;
+  std::function<void(const Digest&)> on_header_stored_;
+  class Archive* archive_ = nullptr;
+
+  uint64_t headers_proposed_ = 0;
+  uint64_t certs_formed_ = 0;
+  uint64_t votes_cast_ = 0;
+  uint64_t reinjected_batches_ = 0;
+};
+
+}  // namespace nt
+
+#endif  // SRC_NARWHAL_PRIMARY_H_

@@ -1,0 +1,281 @@
+#include "src/narwhal/worker.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace nt {
+
+Worker::Worker(ValidatorId validator, WorkerId worker_id, const Committee& committee,
+               const NarwhalConfig& config, Network* network, const Topology* topology,
+               std::unique_ptr<Store> store, BatchDirectory* directory)
+    : validator_(validator),
+      worker_id_(worker_id),
+      committee_(committee),
+      config_(config),
+      network_(network),
+      topology_(topology),
+      store_(std::move(store)),
+      directory_(directory) {
+  pending_.author = validator_;
+  pending_.worker = worker_id_;
+}
+
+void Worker::OnStart() {}
+
+void Worker::SubmitTransaction(uint64_t size_bytes, std::optional<TxSample> sample) {
+  pending_.num_txs += 1;
+  pending_.payload_bytes += size_bytes;
+  if (sample.has_value()) {
+    pending_.samples.push_back(*sample);
+  }
+  if (batch_timer_ == Scheduler::kInvalidTimer) {
+    batch_timer_ = network_->scheduler()->ScheduleAfter(config_.max_batch_delay,
+                                                        [this] { MaybeSealBatch(true); });
+  }
+  MaybeSealBatch(false);
+}
+
+void Worker::SubmitTransaction(Bytes payload, std::optional<TxSample> sample) {
+  if (config_.dedup_window > 0) {
+    // Mir-BFT-style hash de-duplication (paper §8.4): resubmitted payloads
+    // within the window are dropped before they cost any bandwidth.
+    Digest tx_digest = Sha256::Hash(payload);
+    if (!seen_txs_.insert(tx_digest).second) {
+      ++duplicate_txs_dropped_;
+      return;
+    }
+    seen_order_.push_back(tx_digest);
+    if (seen_order_.size() > config_.dedup_window) {
+      seen_txs_.erase(seen_order_.front());
+      seen_order_.pop_front();
+    }
+  }
+  uint64_t size = payload.size();
+  pending_.txs.push_back(std::move(payload));
+  SubmitTransaction(size, sample);
+}
+
+Digest Worker::SubmitBlock(std::vector<Bytes> txs) {
+  // Flush any unrelated pending payload first so the returned digest covers
+  // exactly this block.
+  MaybeSealBatch(/*force=*/true);
+  for (Bytes& tx : txs) {
+    uint64_t size = tx.size();
+    pending_.txs.push_back(std::move(tx));
+    pending_.num_txs += 1;
+    pending_.payload_bytes += size;
+  }
+  Batch preview = pending_;
+  preview.seq = next_seq_;
+  Digest digest = preview.ComputeDigest();
+  SealBatch();
+  return digest;
+}
+
+void Worker::MaybeSealBatch(bool force) {
+  if (force) {
+    batch_timer_ = Scheduler::kInvalidTimer;
+  }
+  if (pending_.num_txs == 0) {
+    return;
+  }
+  if (!force && pending_.payload_bytes < config_.batch_size_bytes) {
+    return;
+  }
+  SealBatch();
+}
+
+void Worker::SealBatch() {
+  if (batch_timer_ != Scheduler::kInvalidTimer) {
+    network_->scheduler()->Cancel(batch_timer_);
+    batch_timer_ = Scheduler::kInvalidTimer;
+  }
+  pending_.seq = next_seq_++;
+  auto batch = std::make_shared<const Batch>(std::move(pending_));
+  pending_ = Batch{};
+  pending_.author = validator_;
+  pending_.worker = worker_id_;
+
+  Digest digest = batch->ComputeDigest();
+  ++batches_sealed_;
+
+  BatchDirectory::Info info;
+  info.author = validator_;
+  info.worker = worker_id_;
+  info.num_txs = batch->num_txs;
+  info.payload_bytes = batch->payload_bytes;
+  info.sealed_at = network_->scheduler()->now();
+  info.samples = batch->samples;
+  directory_->Register(digest, std::move(info));
+
+  StoreBatch(batch, digest);
+  DisseminateBatch(batch, digest);
+}
+
+void Worker::StoreBatch(const std::shared_ptr<const Batch>& batch, const Digest& digest) {
+  if (store_->Contains(digest)) {
+    return;
+  }
+  Writer w;
+  batch->Encode(w);
+  store_->Put(digest, w.Take());
+  batches_[digest] = batch;
+}
+
+std::shared_ptr<const Batch> Worker::GetBatch(const Digest& digest) const {
+  auto it = batches_.find(digest);
+  return it == batches_.end() ? nullptr : it->second;
+}
+
+void Worker::DisseminateBatch(const std::shared_ptr<const Batch>& batch, const Digest& digest) {
+  InFlight& flight = in_flight_[digest];
+  flight.batch = batch;
+  flight.ackers.insert(validator_);  // Self-storage counts.
+
+  auto msg = std::make_shared<MsgBatch>(batch, digest);
+  for (ValidatorId v = 0; v < committee_.size(); ++v) {
+    if (v == validator_) {
+      continue;
+    }
+    network_->Send(net_id_, topology_->worker_of[v][worker_id_], msg);
+  }
+  flight.retry_timer = network_->scheduler()->ScheduleAfter(config_.batch_retry_delay,
+                                                            [this, digest] { RetryBatch(digest); });
+}
+
+void Worker::RetryBatch(const Digest& digest) {
+  auto it = in_flight_.find(digest);
+  if (it == in_flight_.end()) {
+    return;
+  }
+  InFlight& flight = it->second;
+  auto msg = std::make_shared<MsgBatch>(flight.batch, digest);
+  for (ValidatorId v = 0; v < committee_.size(); ++v) {
+    if (flight.ackers.count(v) != 0) {
+      continue;
+    }
+    network_->Send(net_id_, topology_->worker_of[v][worker_id_], msg);
+  }
+  // Exponential backoff: under asynchrony or crashes, re-transmission adapts
+  // instead of flooding (TCP-like behaviour, paper §4.1).
+  flight.attempts = std::min(flight.attempts + 1, 6u);
+  TimeDelta delay = config_.batch_retry_delay << flight.attempts;
+  flight.retry_timer =
+      network_->scheduler()->ScheduleAfter(delay, [this, digest] { RetryBatch(digest); });
+}
+
+bool Worker::IsOwnPrimary(uint32_t from) const {
+  return from == topology_->primary_of[validator_];
+}
+
+void Worker::OnMessage(uint32_t from, const MessagePtr& msg) {
+  if (auto batch_msg = std::dynamic_pointer_cast<const MsgBatch>(msg)) {
+    // A peer worker streams a batch: store it, acknowledge, report to our
+    // primary so it can validate headers referencing it.
+    bool known = store_->Contains(batch_msg->digest);
+    if (!known) {
+      StoreBatch(batch_msg->batch, batch_msg->digest);
+      fetching_.erase(batch_msg->digest);
+      network_->Send(net_id_, topology_->primary_of[validator_],
+                     std::make_shared<MsgBatchStored>(batch_msg->digest));
+    }
+    network_->Send(net_id_, from, std::make_shared<MsgBatchAck>(batch_msg->digest, worker_id_));
+    return;
+  }
+
+  if (auto ack = std::dynamic_pointer_cast<const MsgBatchAck>(msg)) {
+    auto it = in_flight_.find(ack->digest);
+    if (it == in_flight_.end()) {
+      return;  // Already reached quorum (late ack).
+    }
+    auto role = topology_->role_of.find(from);
+    if (role == topology_->role_of.end()) {
+      return;
+    }
+    InFlight& flight = it->second;
+    flight.ackers.insert(role->second.validator);
+    if (flight.ackers.size() >= committee_.quorum_threshold()) {
+      network_->scheduler()->Cancel(flight.retry_timer);
+      BatchRef ref;
+      ref.digest = ack->digest;
+      ref.worker = worker_id_;
+      ref.num_txs = flight.batch->num_txs;
+      ref.payload_bytes = flight.batch->payload_bytes;
+      in_flight_.erase(it);
+      ++batches_acked_;
+      network_->Send(net_id_, topology_->primary_of[validator_],
+                     std::make_shared<MsgBatchReady>(ref));
+    }
+    return;
+  }
+
+  if (auto fetch = std::dynamic_pointer_cast<const MsgFetchBatch>(msg)) {
+    if (IsOwnPrimary(from)) {
+      HandleFetch(*fetch);
+    }
+    return;
+  }
+
+  if (auto request = std::dynamic_pointer_cast<const MsgBatchRequest>(msg)) {
+    auto it = batches_.find(request->digest);
+    if (it != batches_.end()) {
+      network_->Send(net_id_, from,
+                     std::make_shared<MsgBatchResponse>(it->second, request->digest));
+    }
+    return;
+  }
+
+  if (auto response = std::dynamic_pointer_cast<const MsgBatchResponse>(msg)) {
+    if (fetching_.count(response->digest) == 0) {
+      return;  // Unsolicited or duplicate response.
+    }
+    if (response->batch->ComputeDigest() != response->digest) {
+      LOG_WARN() << "batch response digest mismatch";
+      return;
+    }
+    fetching_.erase(response->digest);
+    StoreBatch(response->batch, response->digest);
+    network_->Send(net_id_, topology_->primary_of[validator_],
+                   std::make_shared<MsgBatchStored>(response->digest));
+    return;
+  }
+}
+
+void Worker::HandleFetch(const MsgFetchBatch& fetch) {
+  if (store_->Contains(fetch.digest)) {
+    network_->Send(net_id_, topology_->primary_of[validator_],
+                   std::make_shared<MsgBatchStored>(fetch.digest));
+    return;
+  }
+  if (!fetching_.insert(fetch.digest).second) {
+    return;  // Already being fetched.
+  }
+  // Pull from the batch author's matching worker first (paper §4.2); rotate
+  // through other validators on timeout.
+  network_->Send(net_id_, topology_->worker_of[fetch.batch_author][worker_id_],
+                 std::make_shared<MsgBatchRequest>(fetch.digest));
+  network_->scheduler()->ScheduleAfter(config_.sync_retry_delay, [this, d = fetch.digest,
+                                                                  a = fetch.batch_author] {
+    RetryFetch(d, a, 1);
+  });
+}
+
+void Worker::RetryFetch(const Digest& digest, ValidatorId author, uint32_t attempt) {
+  if (fetching_.count(digest) == 0) {
+    return;  // Arrived meanwhile.
+  }
+  // At least f+1 honest workers store a quorum-acked batch; the expected
+  // number of probes to hit one is O(1) (paper §4.1).
+  ValidatorId target = (author + attempt) % committee_.size();
+  if (target == validator_) {
+    target = (target + 1) % committee_.size();
+  }
+  network_->Send(net_id_, topology_->worker_of[target][worker_id_],
+                 std::make_shared<MsgBatchRequest>(digest));
+  TimeDelta delay = config_.sync_retry_delay << std::min(attempt, 6u);
+  network_->scheduler()->ScheduleAfter(
+      delay, [this, digest, author, attempt] { RetryFetch(digest, author, attempt + 1); });
+}
+
+}  // namespace nt

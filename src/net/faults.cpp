@@ -1,0 +1,30 @@
+#include "src/net/faults.h"
+
+#include <algorithm>
+
+namespace nt {
+
+TimePoint FaultController::EarliestReachable(uint32_t a, uint32_t b, TimePoint when) const {
+  TimePoint t = when;
+  // Iterate until neither endpoint is isolated at t. Windows are few, so the
+  // simple fixed-point loop is fine.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t node : {a, b}) {
+      auto it = isolations_.find(node);
+      if (it == isolations_.end()) {
+        continue;
+      }
+      for (const Window& w : it->second) {
+        if (t >= w.start && t < w.end) {
+          t = w.end;
+          changed = true;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace nt

@@ -1,0 +1,89 @@
+// Fault injection for the simulated network: crash faults, node isolation
+// (partitions), random message loss, and asynchrony windows that inflate
+// latencies. The controller is queried by the Network on every send.
+#ifndef SRC_NET_FAULTS_H_
+#define SRC_NET_FAULTS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace nt {
+
+class FaultController {
+ public:
+  // --- crash faults ---------------------------------------------------------
+
+  // Node stops sending and receiving from `when` on (never recovers).
+  void CrashAt(uint32_t node, TimePoint when) { crash_times_[node] = when; }
+
+  bool IsCrashed(uint32_t node, TimePoint now) const {
+    auto it = crash_times_.find(node);
+    return it != crash_times_.end() && now >= it->second;
+  }
+
+  // --- partitions -----------------------------------------------------------
+
+  // Node is cut off from everyone during [start, end). Messages in flight to
+  // or from it during the window are deferred to the heal time (modeling TCP
+  // retransmission after reconnect).
+  void Isolate(uint32_t node, TimePoint start, TimePoint end) {
+    isolations_[node].push_back({start, end});
+  }
+
+  // If either endpoint is isolated at `when`, returns the earliest time at
+  // which both are reachable again (kNever if a window never closes).
+  // Returns `when` itself when no partition applies.
+  TimePoint EarliestReachable(uint32_t a, uint32_t b, TimePoint when) const;
+
+  // --- asynchrony windows ----------------------------------------------------
+
+  // During [start, end), all propagation delays are multiplied by `factor`.
+  // Models the periods of asynchrony the paper's robustness claims address.
+  void AddAsynchronyWindow(TimePoint start, TimePoint end, double factor) {
+    async_windows_.push_back({start, end, factor});
+  }
+
+  double LatencyFactor(TimePoint when) const {
+    double factor = 1.0;
+    for (const auto& w : async_windows_) {
+      if (when >= w.start && when < w.end) {
+        factor *= w.factor;
+      }
+    }
+    return factor;
+  }
+
+  // --- random loss -----------------------------------------------------------
+
+  // Probability that any given message is silently dropped.
+  void SetLossRate(double p) { loss_rate_ = p; }
+  double loss_rate() const { return loss_rate_; }
+
+  bool AnyFaultsConfigured() const {
+    return !crash_times_.empty() || !isolations_.empty() || !async_windows_.empty() ||
+           loss_rate_ > 0;
+  }
+
+ private:
+  struct Window {
+    TimePoint start;
+    TimePoint end;
+  };
+  struct AsyncWindow {
+    TimePoint start;
+    TimePoint end;
+    double factor;
+  };
+
+  std::unordered_map<uint32_t, TimePoint> crash_times_;
+  std::unordered_map<uint32_t, std::vector<Window>> isolations_;
+  std::vector<AsyncWindow> async_windows_;
+  double loss_rate_ = 0.0;
+};
+
+}  // namespace nt
+
+#endif  // SRC_NET_FAULTS_H_

@@ -1,0 +1,40 @@
+#include "src/net/latency.h"
+
+#include <algorithm>
+
+namespace nt {
+namespace {
+
+// One-way mean delays in milliseconds between the paper's five AWS regions,
+// derived from public inter-region RTT measurements (RTT / 2).
+constexpr double kOneWayMs[kWanRegionCount][kWanRegionCount] = {
+    //            us-east  us-west  sydney  stockholm  tokyo
+    /* us-east */ {0.25,    31.0,    100.0,  56.0,      73.0},
+    /* us-west */ {31.0,    0.25,    70.0,   85.0,      55.0},
+    /* sydney  */ {100.0,   70.0,    0.25,   150.0,     52.0},
+    /* sthlm   */ {56.0,    85.0,    150.0,  0.25,      125.0},
+    /* tokyo   */ {73.0,    55.0,    52.0,   125.0,     0.25},
+};
+
+}  // namespace
+
+WanLatencyModel::WanLatencyModel() {
+  for (uint32_t i = 0; i < kWanRegionCount; ++i) {
+    for (uint32_t j = 0; j < kWanRegionCount; ++j) {
+      base_[i][j] = static_cast<TimeDelta>(kOneWayMs[i][j] * 1000.0);
+    }
+  }
+}
+
+TimeDelta WanLatencyModel::Mean(uint32_t src_region, uint32_t dst_region) const {
+  return base_[src_region % kWanRegionCount][dst_region % kWanRegionCount];
+}
+
+TimeDelta WanLatencyModel::Sample(uint32_t src_region, uint32_t dst_region, Rng& rng) const {
+  double base = static_cast<double>(Mean(src_region, dst_region));
+  // Multiplicative jitter in [0.95, 1.10) plus a light exponential tail.
+  double jittered = base * rng.NextDouble(0.95, 1.10) + rng.NextExponential(base * 0.02);
+  return std::max<TimeDelta>(Micros(10), static_cast<TimeDelta>(jittered));
+}
+
+}  // namespace nt

@@ -1,0 +1,80 @@
+// Propagation-latency models for the simulated network.
+//
+// The paper's testbed spans five AWS regions; WanLatencyModel reproduces that
+// geography with a one-way delay matrix close to public inter-region
+// measurements plus per-message jitter. Uniform and fixed models support
+// protocol tests that need controlled randomness or exact determinism.
+#ifndef SRC_NET_LATENCY_H_
+#define SRC_NET_LATENCY_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+
+namespace nt {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  // One-way propagation delay for a message from `src_region` to
+  // `dst_region`. May consult `rng` for jitter.
+  virtual TimeDelta Sample(uint32_t src_region, uint32_t dst_region, Rng& rng) const = 0;
+};
+
+// The paper's five regions.
+enum WanRegion : uint32_t {
+  kUsEast1 = 0,      // N. Virginia
+  kUsWest1 = 1,      // N. California
+  kApSoutheast2 = 2, // Sydney
+  kEuNorth1 = 3,     // Stockholm
+  kApNortheast1 = 4, // Tokyo
+  kWanRegionCount = 5,
+};
+
+// Inter-region one-way delays with multiplicative jitter and an exponential
+// tail, mimicking measured WAN behaviour.
+class WanLatencyModel : public LatencyModel {
+ public:
+  WanLatencyModel();
+
+  TimeDelta Sample(uint32_t src_region, uint32_t dst_region, Rng& rng) const override;
+
+  // Mean one-way delay between two regions (no jitter), for analysis.
+  TimeDelta Mean(uint32_t src_region, uint32_t dst_region) const;
+
+ private:
+  std::array<std::array<TimeDelta, kWanRegionCount>, kWanRegionCount> base_;
+};
+
+// Uniformly random delay in [lo, hi] regardless of regions — the "random
+// message delays" network of the paper's Lemma 5 analysis.
+class UniformLatencyModel : public LatencyModel {
+ public:
+  UniformLatencyModel(TimeDelta lo, TimeDelta hi) : lo_(lo), hi_(hi) {}
+
+  TimeDelta Sample(uint32_t, uint32_t, Rng& rng) const override {
+    return lo_ + static_cast<TimeDelta>(rng.NextDouble() * static_cast<double>(hi_ - lo_));
+  }
+
+ private:
+  TimeDelta lo_;
+  TimeDelta hi_;
+};
+
+// Exact constant delay — for tests that assert precise event timing.
+class FixedLatencyModel : public LatencyModel {
+ public:
+  explicit FixedLatencyModel(TimeDelta d) : delay_(d) {}
+
+  TimeDelta Sample(uint32_t, uint32_t, Rng&) const override { return delay_; }
+
+ private:
+  TimeDelta delay_;
+};
+
+}  // namespace nt
+
+#endif  // SRC_NET_LATENCY_H_

@@ -1,0 +1,43 @@
+// Typed message envelope for the simulated network. Protocol messages derive
+// from Message and report their wire size so bandwidth queues can account
+// for them without materializing byte buffers on every hop.
+#ifndef SRC_NET_MESSAGE_H_
+#define SRC_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace nt {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  // Serialized size in bytes, used for transmission-delay accounting. Must
+  // match what the canonical codec would produce (checked in tests for the
+  // protocol types).
+  virtual size_t WireSize() const = 0;
+
+  // Short stable name for logs and per-type statistics.
+  virtual const char* TypeName() const = 0;
+};
+
+// Messages are immutable once sent; a broadcast shares one allocation.
+using MessagePtr = std::shared_ptr<const Message>;
+
+// A network endpoint. Nodes never block; they react to deliveries and
+// timers scheduled on the shared Scheduler.
+class NetNode {
+ public:
+  virtual ~NetNode() = default;
+
+  // Called when a message is delivered to this node.
+  virtual void OnMessage(uint32_t from, const MessagePtr& msg) = 0;
+
+  // Called once when the simulation starts.
+  virtual void OnStart() {}
+};
+
+}  // namespace nt
+
+#endif  // SRC_NET_MESSAGE_H_

@@ -1,0 +1,111 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace nt {
+
+Network::Network(Scheduler* scheduler, const LatencyModel* latency, FaultController* faults,
+                 NetworkConfig config, uint64_t seed)
+    : scheduler_(scheduler),
+      latency_(latency),
+      faults_(faults),
+      config_(config),
+      rng_(Rng::Derive(seed, "network")) {}
+
+uint32_t Network::AddNode(NetNode* node, uint32_t region, uint32_t machine) {
+  nodes_.push_back(NodeSlot{node, region, machine});
+  next_machine_ = std::max(next_machine_, machine + 1);
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void Network::Start() {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!IsCrashed(static_cast<uint32_t>(i))) {
+      nodes_[i].node->OnStart();
+    }
+  }
+}
+
+void Network::Send(uint32_t src, uint32_t dst, MessagePtr msg) {
+  const TimePoint now = scheduler_->now();
+  if (faults_ != nullptr && faults_->IsCrashed(src, now)) {
+    ++messages_dropped_;
+    return;
+  }
+  const bool local = nodes_[src].machine == nodes_[dst].machine;
+  if (!local && faults_ != nullptr && faults_->loss_rate() > 0 &&
+      rng_.NextBool(faults_->loss_rate())) {
+    ++messages_dropped_;
+    return;
+  }
+
+  const size_t wire = msg->WireSize() + config_.per_message_overhead;
+  ++messages_sent_;
+  bytes_sent_ += wire;
+  TypeStats& per_type = type_stats_[msg->TypeName()];
+  ++per_type.messages;
+  per_type.bytes += wire;
+
+  TimePoint deliver_at;
+  if (local) {
+    deliver_at = now + config_.local_delivery;
+  } else {
+    // Egress queue of the source machine: serialize onto the NIC.
+    MachineState& src_machine = machines_[nodes_[src].machine];
+    TimePoint tx_start = std::max(now, src_machine.egress_free_at);
+    TimePoint tx_end = tx_start + TransmitTime(wire);
+    src_machine.egress_free_at = tx_end;
+
+    // Propagation, scaled by any asynchrony window active at transmit time.
+    double factor = faults_ != nullptr ? faults_->LatencyFactor(tx_start) : 1.0;
+    TimeDelta prop = static_cast<TimeDelta>(
+        static_cast<double>(latency_->Sample(nodes_[src].region, nodes_[dst].region, rng_)) *
+        factor);
+    TimePoint arrival = tx_end + prop;
+
+    // Partitions: a message caught in a partition is retransmitted when the
+    // partition heals (TCP semantics), with a fresh propagation delay.
+    if (faults_ != nullptr) {
+      TimePoint reachable = faults_->EarliestReachable(src, dst, arrival);
+      if (reachable != arrival) {
+        arrival = reachable + latency_->Sample(nodes_[src].region, nodes_[dst].region, rng_);
+      }
+    }
+
+    // Ingress queue of the destination machine.
+    MachineState& dst_machine = machines_[nodes_[dst].machine];
+    TimePoint rx_start = std::max(arrival, dst_machine.ingress_free_at);
+    deliver_at = rx_start + TransmitTime(wire);
+    dst_machine.ingress_free_at = deliver_at;
+
+    // Data-path processing (deserialize + hash + persist) for bulk payloads:
+    // a serial per-machine resource that saturates before the NIC.
+    if (wire >= config_.processing_min_bytes && config_.processing_Bps > 0) {
+      TimePoint proc_start = std::max(deliver_at, dst_machine.processing_free_at);
+      deliver_at = proc_start + static_cast<TimeDelta>(static_cast<double>(wire) /
+                                                       config_.processing_Bps * 1e6);
+      dst_machine.processing_free_at = deliver_at;
+    }
+  }
+
+  // Each node pair is its own TCP stream: in-order delivery per pair, but no
+  // head-of-line blocking between, say, a worker's batch stream and its
+  // collocated primary's header stream.
+  uint64_t pair = (static_cast<uint64_t>(src) << 32) | dst;
+  TimePoint& last = last_delivery_[pair];
+  deliver_at = std::max(deliver_at, last + 1);
+  last = deliver_at;
+
+  scheduler_->ScheduleAt(deliver_at, [this, src, dst, msg = std::move(msg)] {
+    if (faults_ != nullptr && faults_->IsCrashed(dst, scheduler_->now())) {
+      ++messages_dropped_;
+      return;
+    }
+    ++messages_delivered_;
+    nodes_[dst].node->OnMessage(src, msg);
+  });
+}
+
+}  // namespace nt

@@ -1,0 +1,67 @@
+#include "src/runtime/client.h"
+
+namespace nt {
+
+uint64_t LoadGenerator::next_tx_id_ = 0;
+
+LoadGenerator::LoadGenerator(Cluster* cluster, ValidatorId validator, WorkerId worker,
+                             Options options)
+    : cluster_(cluster), validator_(validator), worker_(worker), options_(options) {}
+
+void LoadGenerator::Start() {
+  cluster_->scheduler().ScheduleAfter(options_.tick, [this] { Tick(); });
+}
+
+void LoadGenerator::Tick() {
+  TimePoint now = cluster_->scheduler().now();
+  if (now >= options_.stop_at) {
+    return;
+  }
+  carry_ += options_.rate_tps * ToSeconds(options_.tick);
+  uint64_t count = static_cast<uint64_t>(carry_);
+  carry_ -= static_cast<double>(count);
+
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = next_tx_id_++;
+    std::optional<TxSample> sample;
+    if (until_sample_ == 0) {
+      sample = TxSample{id, now};
+      until_sample_ = options_.sample_rate;
+      if (options_.resubmit_timeout > 0) {
+        pending_.push_back(PendingTx{id, now, now, 1, validator_});
+      }
+    }
+    --until_sample_;
+    cluster_->SubmitTx(validator_, worker_, options_.tx_size, sample);
+    ++submitted_;
+  }
+  if (options_.resubmit_timeout > 0) {
+    CheckResubmits(now);
+  }
+  cluster_->scheduler().ScheduleAfter(options_.tick, [this] { Tick(); });
+}
+
+void LoadGenerator::CheckResubmits(TimePoint now) {
+  const Metrics& metrics = cluster_->metrics();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (metrics.IsSampleCommitted(it->tx_id) || it->attempts > options_.max_resubmits) {
+      it = pending_.erase(it);
+      continue;
+    }
+    if (now - it->last_attempt >= options_.resubmit_timeout) {
+      if (options_.failover) {
+        it->target = (it->target + 1) % cluster_->config().num_validators;
+      }
+      // Keep the original submit time: latency is measured from the client's
+      // first attempt, as the paper's clients would experience it.
+      cluster_->SubmitTx(it->target, worker_, options_.tx_size,
+                         TxSample{it->tx_id, it->submit_time});
+      it->last_attempt = now;
+      ++it->attempts;
+      ++resubmitted_;
+    }
+    ++it;
+  }
+}
+
+}  // namespace nt

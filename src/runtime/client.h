@@ -1,0 +1,68 @@
+// Rate-controlled load generation, one generator per (validator, worker) —
+// the paper's "one benchmark client per worker submitting transactions at a
+// fixed rate" (§7). Every `tx_sample_rate`-th transaction carries a latency
+// sample tracked end-to-end.
+#ifndef SRC_RUNTIME_CLIENT_H_
+#define SRC_RUNTIME_CLIENT_H_
+
+#include <cstdint>
+
+#include "src/runtime/cluster.h"
+
+namespace nt {
+
+class LoadGenerator {
+ public:
+  struct Options {
+    double rate_tps = 1000;      // Transactions per second from this client.
+    uint64_t tx_size = 512;      // Bytes per transaction (paper baseline).
+    uint64_t sample_rate = 100;  // One latency sample per this many txs.
+    TimeDelta tick = Millis(10); // Submission granularity.
+    TimePoint stop_at = kNever;  // Stop submitting at this time.
+
+    // Client re-submission (paper §8.4): if a tracked transaction is not
+    // committed within this timeout, submit it again — to the next validator
+    // when `failover` is set (covers a crashed or censoring entry point).
+    // 0 disables.
+    TimeDelta resubmit_timeout = 0;
+    bool failover = true;
+    uint32_t max_resubmits = 8;
+  };
+
+  LoadGenerator(Cluster* cluster, ValidatorId validator, WorkerId worker, Options options);
+
+  // Schedules the first tick.
+  void Start();
+
+  uint64_t submitted_txs() const { return submitted_; }
+  uint64_t resubmitted_txs() const { return resubmitted_; }
+
+ private:
+  struct PendingTx {
+    uint64_t tx_id = 0;
+    TimePoint submit_time = 0;    // Original submission (latency anchor).
+    TimePoint last_attempt = 0;
+    uint32_t attempts = 1;
+    ValidatorId target = 0;
+  };
+
+  void Tick();
+  void CheckResubmits(TimePoint now);
+
+  Cluster* cluster_;
+  ValidatorId validator_;
+  WorkerId worker_;
+  Options options_;
+  double carry_ = 0;  // Fractional transactions carried across ticks.
+  uint64_t submitted_ = 0;
+  uint64_t resubmitted_ = 0;
+  uint64_t until_sample_ = 0;
+  std::vector<PendingTx> pending_;  // Tracked (sampled) not-yet-committed txs.
+
+  // Globally unique transaction ids across all generators.
+  static uint64_t next_tx_id_;
+};
+
+}  // namespace nt
+
+#endif  // SRC_RUNTIME_CLIENT_H_

@@ -1,0 +1,264 @@
+#include "src/runtime/cluster.h"
+
+#include "src/common/logging.h"
+
+namespace nt {
+
+const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kBaselineHs:
+      return "baseline-HS";
+    case SystemKind::kBatchedHs:
+      return "batched-HS";
+    case SystemKind::kNarwhalHs:
+      return "Narwhal-HS";
+    case SystemKind::kTusk:
+      return "Tusk";
+    case SystemKind::kDagRider:
+      return "DAG-Rider";
+  }
+  return "?";
+}
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), metrics_(&scheduler_), coin_(config.seed) {
+  switch (config_.latency_kind) {
+    case ClusterConfig::LatencyKind::kWan:
+      latency_ = std::make_unique<WanLatencyModel>();
+      break;
+    case ClusterConfig::LatencyKind::kUniform:
+      latency_ = std::make_unique<UniformLatencyModel>(config_.uniform_lo, config_.uniform_hi);
+      break;
+    case ClusterConfig::LatencyKind::kFixed:
+      latency_ = std::make_unique<FixedLatencyModel>(config_.fixed_latency);
+      break;
+  }
+  network_ = std::make_unique<Network>(&scheduler_, latency_.get(), &faults_, config_.net,
+                                       config_.seed);
+
+  // Key material and committee (validators spread over the 5 WAN regions).
+  std::vector<ValidatorInfo> infos;
+  for (uint32_t v = 0; v < config_.num_validators; ++v) {
+    signers_.push_back(MakeSigner(config_.signer_kind, DeriveSeed(config_.seed, v)));
+    ValidatorInfo info;
+    info.key = signers_.back()->public_key();
+    info.region = v % kWanRegionCount;
+    infos.push_back(info);
+  }
+  committee_ = Committee(std::move(infos));
+
+  const bool narwhal_based = config_.system == SystemKind::kNarwhalHs ||
+                             config_.system == SystemKind::kTusk ||
+                             config_.system == SystemKind::kDagRider;
+  if (narwhal_based) {
+    BuildNarwhal();
+  }
+  switch (config_.system) {
+    case SystemKind::kTusk:
+      for (uint32_t v = 0; v < config_.num_validators; ++v) {
+        tusks_.push_back(std::make_unique<Tusk>(primaries_[v].get(), committee_, &coin_,
+                                                config_.narwhal.gc_depth));
+      }
+      WireTuskMetrics();
+      break;
+    case SystemKind::kDagRider:
+      for (uint32_t v = 0; v < config_.num_validators; ++v) {
+        riders_.push_back(std::make_unique<DagRider>(primaries_[v].get(), committee_, &coin_));
+      }
+      WireTuskMetrics();
+      break;
+    case SystemKind::kBaselineHs:
+    case SystemKind::kBatchedHs:
+    case SystemKind::kNarwhalHs:
+      BuildHotStuff();
+      break;
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::BuildNarwhal() {
+  const uint32_t n = config_.num_validators;
+  const uint32_t w = config_.workers_per_validator;
+  topology_.primary_of.resize(n);
+  topology_.worker_of.assign(n, std::vector<uint32_t>(w));
+  primaries_.resize(n);
+  workers_.resize(n);
+
+  for (ValidatorId v = 0; v < n; ++v) {
+    uint32_t region = committee_.validator(v).region;
+    uint32_t primary_machine = network_->NewMachine();
+
+    primaries_[v] = std::make_unique<Primary>(v, committee_, config_.narwhal, network_.get(),
+                                              &topology_, signers_[v].get());
+    uint32_t primary_id = network_->AddNode(primaries_[v].get(), region, primary_machine);
+    primaries_[v]->set_net_id(primary_id);
+    topology_.primary_of[v] = primary_id;
+    topology_.role_of[primary_id] = {Topology::NodeRole::Kind::kPrimary, v, 0};
+
+    workers_[v].resize(w);
+    for (WorkerId wi = 0; wi < w; ++wi) {
+      uint32_t machine = config_.collocate ? primary_machine : network_->NewMachine();
+      std::unique_ptr<Store> store;
+      if (!config_.persist_dir.empty()) {
+        store = WalStore::Open(config_.persist_dir + "/worker_" + std::to_string(v) + "_" +
+                               std::to_string(wi) + ".wal");
+      }
+      if (store == nullptr) {
+        store = std::make_unique<MemStore>();
+      }
+      workers_[v][wi] =
+          std::make_unique<Worker>(v, wi, committee_, config_.narwhal, network_.get(), &topology_,
+                                   std::move(store), &directory_);
+      uint32_t worker_id = network_->AddNode(workers_[v][wi].get(), region, machine);
+      workers_[v][wi]->set_net_id(worker_id);
+      topology_.worker_of[v][wi] = worker_id;
+      topology_.role_of[worker_id] = {Topology::NodeRole::Kind::kWorker, v, wi};
+    }
+  }
+}
+
+void Cluster::BuildHotStuff() {
+  const uint32_t n = config_.num_validators;
+  if (config_.system == SystemKind::kBaselineHs) {
+    shared_pool_ = std::make_unique<SharedTxPool>();
+  }
+  consensus_net_ids_.resize(n);
+  providers_.resize(n);
+  hs_nodes_.resize(n);
+
+  // First pass: create nodes and net ids (consensus node shares the
+  // primary's machine for Narwhal-HS; otherwise it is the validator's only
+  // machine).
+  for (ValidatorId v = 0; v < n; ++v) {
+    uint32_t region = committee_.validator(v).region;
+    uint32_t machine;
+    if (config_.system == SystemKind::kNarwhalHs) {
+      machine = network_->machine_of(topology_.primary_of[v]);
+    } else {
+      machine = network_->NewMachine();
+    }
+
+    switch (config_.system) {
+      case SystemKind::kBaselineHs:
+        providers_[v] = std::make_unique<BaselineProvider>(
+            v, shared_pool_.get(), config_.max_block_bytes, config_.gossip_interval,
+            config_.gossip_delay);
+        break;
+      case SystemKind::kBatchedHs:
+        providers_[v] = std::make_unique<BatchedProvider>(
+            v, committee_, config_.narwhal.batch_size_bytes, config_.narwhal.max_batch_delay,
+            config_.max_digests_per_block, &directory_);
+        break;
+      case SystemKind::kNarwhalHs:
+        providers_[v] = std::make_unique<NarwhalProvider>(v, committee_, primaries_[v].get(),
+                                                          &directory_, config_.narwhal.gc_depth);
+        break;
+      default:
+        break;
+    }
+
+    hs_nodes_[v] = std::make_unique<HotStuff>(v, committee_, config_.hotstuff, network_.get(),
+                                              signers_[v].get(), providers_[v].get());
+    uint32_t net_id = network_->AddNode(hs_nodes_[v].get(), region, machine);
+    hs_nodes_[v]->set_net_id(net_id);
+    consensus_net_ids_[v] = net_id;
+    topology_.role_of[net_id] = {Topology::NodeRole::Kind::kConsensus, v, 0};
+  }
+
+  // Second pass: wire peers, providers, and metrics sinks.
+  for (ValidatorId v = 0; v < n; ++v) {
+    hs_nodes_[v]->set_peers(consensus_net_ids_);
+    std::vector<uint32_t> peer_ids;
+    for (ValidatorId u = 0; u < n; ++u) {
+      if (u != v) {
+        peer_ids.push_back(consensus_net_ids_[u]);
+      }
+    }
+    providers_[v]->BindNetwork(network_.get(), consensus_net_ids_[v], std::move(peer_ids));
+    providers_[v]->set_commit_sink(
+        [this, v](ValidatorId owner, uint64_t num, uint64_t bytes,
+                  const std::vector<TxSample>& samples) {
+          metrics_.OnCommit(v, owner, num, bytes, samples);
+        });
+  }
+}
+
+void Cluster::WireTuskMetrics() {
+  // Convert per-header commits into per-batch metrics via the directory.
+  for (ValidatorId v = 0; v < config_.num_validators; ++v) {
+    auto sink = [this, v](const std::shared_ptr<const BlockHeader>& header) {
+      for (const BatchRef& ref : header->batches) {
+        const BatchDirectory::Info* info = directory_.Find(ref.digest);
+        ValidatorId owner = info != nullptr ? info->author : header->author;
+        static const std::vector<TxSample> kNoSamples;
+        metrics_.OnCommit(v, owner, ref.num_txs, ref.payload_bytes,
+                          info != nullptr ? info->samples : kNoSamples);
+      }
+    };
+    if (!tusks_.empty()) {
+      tusks_[v]->add_on_commit(
+          [sink](const Tusk::Committed& committed) { sink(committed.header); });
+    } else {
+      riders_[v]->add_on_commit(
+          [sink](const DagRider::Committed& committed) { sink(committed.header); });
+    }
+  }
+}
+
+void Cluster::Start() { network_->Start(); }
+
+void Cluster::SubmitTx(ValidatorId v, WorkerId w, uint64_t size_bytes,
+                       std::optional<TxSample> sample) {
+  switch (config_.system) {
+    case SystemKind::kTusk:
+    case SystemKind::kDagRider:
+    case SystemKind::kNarwhalHs:
+      workers_[v][w % config_.workers_per_validator]->SubmitTransaction(size_bytes, sample);
+      break;
+    case SystemKind::kBaselineHs: {
+      auto* provider = static_cast<BaselineProvider*>(providers_[v].get());
+      std::vector<TxSample> samples;
+      if (sample.has_value()) {
+        samples.push_back(*sample);
+      }
+      provider->Submit(1, size_bytes, std::move(samples));
+      break;
+    }
+    case SystemKind::kBatchedHs: {
+      auto* provider = static_cast<BatchedProvider*>(providers_[v].get());
+      std::vector<TxSample> samples;
+      if (sample.has_value()) {
+        samples.push_back(*sample);
+      }
+      provider->Submit(1, size_bytes, std::move(samples));
+      break;
+    }
+  }
+}
+
+void Cluster::CrashValidator(ValidatorId v, TimePoint when) {
+  if (!topology_.primary_of.empty()) {
+    faults_.CrashAt(topology_.primary_of[v], when);
+    for (uint32_t id : topology_.worker_of[v]) {
+      faults_.CrashAt(id, when);
+    }
+  }
+  if (!consensus_net_ids_.empty()) {
+    faults_.CrashAt(consensus_net_ids_[v], when);
+  }
+}
+
+void Cluster::IsolateValidator(ValidatorId v, TimePoint start, TimePoint end) {
+  if (!topology_.primary_of.empty()) {
+    faults_.Isolate(topology_.primary_of[v], start, end);
+    for (uint32_t id : topology_.worker_of[v]) {
+      faults_.Isolate(id, start, end);
+    }
+  }
+  if (!consensus_net_ids_.empty()) {
+    faults_.Isolate(consensus_net_ids_[v], start, end);
+  }
+}
+
+}  // namespace nt

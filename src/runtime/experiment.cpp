@@ -1,0 +1,83 @@
+#include "src/runtime/experiment.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace nt {
+
+ExperimentResult RunExperiment(const ExperimentParams& params) {
+  ClusterConfig config = params.cluster;
+  config.system = params.system;
+  config.num_validators = params.nodes;
+  config.workers_per_validator = params.workers;
+  config.collocate = params.collocate;
+  config.seed = params.seed;
+
+  Cluster cluster(config);
+
+  // Crash the highest-numbered validators (validator 0 stays alive as the
+  // metrics observer, matching the paper's measurement at a correct node).
+  for (uint32_t i = 0; i < params.faults && i + 1 < params.nodes; ++i) {
+    cluster.CrashValidator(params.nodes - 1 - i, 0);
+  }
+  if (params.async_start != kNever) {
+    cluster.faults().AddAsynchronyWindow(params.async_start, params.async_end,
+                                         params.async_factor);
+  }
+  for (const ExperimentParams::AsyncWindow& w : params.async_windows) {
+    cluster.faults().AddAsynchronyWindow(w.start, w.end, w.factor);
+  }
+
+  cluster.metrics().set_observer(0);
+  cluster.metrics().SetWindow(params.warmup, params.duration);
+
+  // One client per (validator, worker), splitting the aggregate rate.
+  std::vector<std::unique_ptr<LoadGenerator>> clients;
+  double per_client = params.rate_tps / (params.nodes * params.workers);
+  for (uint32_t v = 0; v < params.nodes; ++v) {
+    for (uint32_t w = 0; w < params.workers; ++w) {
+      LoadGenerator::Options options;
+      options.rate_tps = per_client;
+      options.tx_size = params.tx_size;
+      options.sample_rate = config.narwhal.tx_sample_rate;
+      options.stop_at = params.duration;
+      clients.push_back(std::make_unique<LoadGenerator>(&cluster, v, w, options));
+    }
+  }
+
+  cluster.Start();
+  for (auto& client : clients) {
+    client->Start();
+  }
+  cluster.scheduler().RunUntil(params.duration);
+
+  ExperimentResult result;
+  result.system = SystemName(params.system);
+  result.nodes = params.nodes;
+  result.workers = params.workers;
+  result.faults = params.faults;
+  result.input_tps = params.rate_tps;
+  result.tps = cluster.metrics().ThroughputTps();
+  const SampleStats& lat = cluster.metrics().latency_seconds();
+  result.avg_latency_s = lat.Mean();
+  result.latency_stddev_s = lat.StdDev();
+  result.p50_latency_s = lat.Percentile(50);
+  result.p99_latency_s = lat.Percentile(99);
+  result.committed_txs = cluster.metrics().committed_txs();
+  result.sampled_txs = lat.count();
+  return result;
+}
+
+void PrintResultHeader() {
+  std::printf("%-12s %6s %7s %7s %10s %10s %9s %9s %9s %11s\n", "system", "nodes", "workers",
+              "faults", "input_tps", "tps", "avg_lat_s", "p50_lat_s", "p99_lat_s", "committed");
+}
+
+void PrintResultRow(const ExperimentResult& r) {
+  std::printf("%-12s %6u %7u %7u %10.0f %10.0f %9.2f %9.2f %9.2f %11llu\n", r.system.c_str(),
+              r.nodes, r.workers, r.faults, r.input_tps, r.tps, r.avg_latency_s, r.p50_latency_s,
+              r.p99_latency_s, static_cast<unsigned long long>(r.committed_txs));
+  std::fflush(stdout);
+}
+
+}  // namespace nt

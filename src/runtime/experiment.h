@@ -1,0 +1,69 @@
+// One-shot experiment runner: deploys a cluster, drives load, injects
+// faults, and reports the paper's metrics (throughput in tx/s, end-to-end
+// latency statistics). The benchmark binaries for every table and figure are
+// thin sweeps over RunExperiment.
+#ifndef SRC_RUNTIME_EXPERIMENT_H_
+#define SRC_RUNTIME_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/client.h"
+#include "src/runtime/cluster.h"
+
+namespace nt {
+
+struct ExperimentParams {
+  SystemKind system = SystemKind::kTusk;
+  uint32_t nodes = 4;
+  uint32_t workers = 1;
+  bool collocate = true;
+  double rate_tps = 10000;  // Aggregate input rate across all clients.
+  uint64_t tx_size = 512;
+  uint32_t faults = 0;            // Crash this many validators at t=0.
+  TimeDelta duration = Seconds(20);
+  TimeDelta warmup = Seconds(5);
+  uint64_t seed = 1;
+
+  // Optional asynchrony window (latency multiplied by `async_factor`).
+  TimePoint async_start = kNever;
+  TimePoint async_end = kNever;
+  double async_factor = 20.0;
+
+  // Additional asynchrony windows (for alternating unstable-network
+  // schedules); applied on top of the single window above.
+  struct AsyncWindow {
+    TimePoint start;
+    TimePoint end;
+    double factor;
+  };
+  std::vector<AsyncWindow> async_windows;
+
+  // Forwarded knobs.
+  ClusterConfig cluster;  // system/nodes/workers/seed fields are overwritten.
+};
+
+struct ExperimentResult {
+  std::string system;
+  uint32_t nodes = 0;
+  uint32_t workers = 0;
+  uint32_t faults = 0;
+  double input_tps = 0;
+  double tps = 0;
+  double avg_latency_s = 0;
+  double latency_stddev_s = 0;
+  double p50_latency_s = 0;
+  double p99_latency_s = 0;
+  uint64_t committed_txs = 0;
+  uint64_t sampled_txs = 0;
+};
+
+ExperimentResult RunExperiment(const ExperimentParams& params);
+
+// Prints a fixed-width results-table row (header printed with `header`).
+void PrintResultHeader();
+void PrintResultRow(const ExperimentResult& result);
+
+}  // namespace nt
+
+#endif  // SRC_RUNTIME_EXPERIMENT_H_

@@ -1,0 +1,28 @@
+#include "src/runtime/metrics.h"
+
+namespace nt {
+
+void Metrics::OnCommit(ValidatorId at, ValidatorId latency_owner, uint64_t num_txs,
+                       uint64_t payload_bytes, const std::vector<TxSample>& samples) {
+  TimePoint now = scheduler_->now();
+  // Commit feedback for re-submitting clients, regardless of the window.
+  for (const TxSample& s : samples) {
+    committed_samples_.insert(s.tx_id);
+  }
+  if (now < window_start_ || now >= window_end_) {
+    return;
+  }
+  if (at == observer_) {
+    committed_txs_ += num_txs;
+    committed_bytes_ += payload_bytes;
+  }
+  if (at == latency_owner) {
+    for (const TxSample& s : samples) {
+      if (s.submit_time >= window_start_) {
+        latency_.Add(ToSeconds(now - s.submit_time));
+      }
+    }
+  }
+}
+
+}  // namespace nt

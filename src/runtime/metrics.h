@@ -1,0 +1,69 @@
+// Commit-side measurement, mirroring the paper's methodology (§7):
+// throughput is committed transactions per second observed at one correct
+// validator; latency is measured on sampled transactions from client
+// submission until the validator the client submitted to commits them.
+#ifndef SRC_RUNTIME_METRICS_H_
+#define SRC_RUNTIME_METRICS_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/time.h"
+#include "src/sim/scheduler.h"
+#include "src/types/types.h"
+
+namespace nt {
+
+class Metrics {
+ public:
+  explicit Metrics(Scheduler* scheduler) : scheduler_(scheduler) {}
+
+  // Throughput counts commits observed at this validator only (each block is
+  // committed by every honest validator; count it once).
+  void set_observer(ValidatorId v) { observer_ = v; }
+
+  // Measurement window [start, end): commits outside it are ignored
+  // (warm-up / cool-down).
+  void SetWindow(TimePoint start, TimePoint end) {
+    window_start_ = start;
+    window_end_ = end;
+  }
+
+  // Called by every validator's commit sink.
+  //   at:            validator that just committed locally;
+  //   latency_owner: validator whose local commit defines the samples'
+  //                  latency (where the client submitted).
+  void OnCommit(ValidatorId at, ValidatorId latency_owner, uint64_t num_txs,
+                uint64_t payload_bytes, const std::vector<TxSample>& samples);
+
+  uint64_t committed_txs() const { return committed_txs_; }
+  uint64_t committed_bytes() const { return committed_bytes_; }
+  const SampleStats& latency_seconds() const { return latency_; }
+
+  // Commit feedback for clients (paper §8.4: "Narwhal relies on clients to
+  // re-submit a transaction if it is not sequenced in time"): true once any
+  // validator committed the sampled transaction.
+  bool IsSampleCommitted(uint64_t tx_id) const { return committed_samples_.count(tx_id) != 0; }
+
+  double ThroughputTps() const {
+    double window = ToSeconds(window_end_ - window_start_);
+    return window > 0 ? static_cast<double>(committed_txs_) / window : 0.0;
+  }
+
+ private:
+  Scheduler* scheduler_;
+  ValidatorId observer_ = 0;
+  TimePoint window_start_ = 0;
+  TimePoint window_end_ = kNever;
+
+  uint64_t committed_txs_ = 0;
+  uint64_t committed_bytes_ = 0;
+  SampleStats latency_;
+  std::set<uint64_t> committed_samples_;
+};
+
+}  // namespace nt
+
+#endif  // SRC_RUNTIME_METRICS_H_

@@ -1,0 +1,54 @@
+#include "src/sim/scheduler.h"
+
+#include <algorithm>
+
+namespace nt {
+
+Scheduler::TimerId Scheduler::ScheduleAt(TimePoint t, Callback cb) {
+  Event ev;
+  ev.time = std::max(t, now_);
+  ev.seq = next_seq_++;
+  ev.id = ev.seq;  // seq doubles as the id; both are unique and monotone.
+  ev.cb = std::move(cb);
+  TimerId id = ev.id;
+  queue_.push(std::move(ev));
+  return id;
+}
+
+void Scheduler::Cancel(TimerId id) {
+  if (id != kInvalidTimer && id < next_seq_) {
+    cancelled_.insert(id);
+  }
+}
+
+bool Scheduler::RunOne() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the callback is moved out via const_cast,
+    // which is safe because the element is popped immediately after.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto cancelled = cancelled_.find(ev.id);
+    if (cancelled != cancelled_.end()) {
+      cancelled_.erase(cancelled);
+      continue;
+    }
+    now_ = ev.time;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::RunUntil(TimePoint t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    RunOne();
+  }
+  now_ = std::max(now_, t);
+}
+
+void Scheduler::RunUntilIdle() {
+  while (RunOne()) {
+  }
+}
+
+}  // namespace nt

@@ -1,0 +1,81 @@
+// Discrete-event scheduler: the heartbeat of the whole reproduction.
+//
+// All protocol code runs as callbacks on a single virtual clock. Events fire
+// in (time, insertion-order) order, so runs are fully deterministic for a
+// given seed — the property that lets every benchmark scenario and failure
+// schedule replay exactly.
+#ifndef SRC_SIM_SCHEDULER_H_
+#define SRC_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace nt {
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+  using TimerId = uint64_t;
+
+  static constexpr TimerId kInvalidTimer = 0;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Schedules `cb` at absolute time `t` (clamped to now). Returns an id
+  // usable with Cancel().
+  TimerId ScheduleAt(TimePoint t, Callback cb);
+
+  // Schedules `cb` after `delay` from now.
+  TimerId ScheduleAfter(TimeDelta delay, Callback cb) { return ScheduleAt(now_ + delay, std::move(cb)); }
+
+  // Cancels a pending event. Safe to call with an already-fired or invalid id.
+  void Cancel(TimerId id);
+
+  // Pops and runs the next event, advancing the clock to it. Returns false if
+  // the queue is empty.
+  bool RunOne();
+
+  // Runs all events with time <= `t`, then advances the clock to `t`.
+  void RunUntil(TimePoint t);
+
+  // Runs until no events remain.
+  void RunUntilIdle();
+
+  // Upper bound: includes events cancelled while still queued (a Cancel of
+  // an already-fired id is a no-op and is not counted).
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePoint time;
+    uint64_t seq;
+    TimerId id;
+    // Ordered as a min-heap: earliest time first, ties broken by insertion
+    // order so causally-enqueued work runs in FIFO order.
+    bool operator>(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+    Callback cb;
+  };
+
+  TimePoint now_ = 0;
+  uint64_t next_seq_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<TimerId> cancelled_;
+};
+
+}  // namespace nt
+
+#endif  // SRC_SIM_SCHEDULER_H_

@@ -1,0 +1,154 @@
+#include "src/store/store.h"
+
+#include <cstring>
+
+#include "src/common/codec.h"
+
+namespace nt {
+namespace {
+
+// WAL record layout:
+//   u32 magic | u8 op | 32B key | u32 value_len | value | u32 crc
+// crc covers everything before it (magic..value).
+constexpr uint32_t kRecordMagic = 0x4e54574c;  // "NTWL"
+constexpr uint8_t kOpPut = 1;
+constexpr uint8_t kOpErase = 2;
+
+struct Crc32Table {
+  uint32_t t[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  static const Crc32Table table;
+  uint32_t c = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table.t[(c ^ data[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+// ------------------------------------------------------------------ MemStore
+
+void MemStore::Put(const Digest& key, Bytes value) { map_[key] = std::move(value); }
+
+std::optional<Bytes> MemStore::Get(const Digest& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool MemStore::Contains(const Digest& key) const { return map_.count(key) != 0; }
+
+bool MemStore::Erase(const Digest& key) { return map_.erase(key) != 0; }
+
+// ------------------------------------------------------------------ WalStore
+
+std::unique_ptr<WalStore> WalStore::Open(const std::string& path) {
+  // Replay phase: read existing records.
+  std::unique_ptr<WalStore> store;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab+");
+    if (f == nullptr) {
+      return nullptr;
+    }
+    store = std::unique_ptr<WalStore>(new WalStore(f, path));
+  }
+
+  std::FILE* rf = std::fopen(path.c_str(), "rb");
+  if (rf != nullptr) {
+    for (;;) {
+      uint8_t head[4 + 1 + 32 + 4];
+      if (std::fread(head, 1, sizeof(head), rf) != sizeof(head)) {
+        break;  // Clean EOF or torn header: stop replay.
+      }
+      Reader hr(head, sizeof(head));
+      uint32_t magic = hr.GetU32();
+      uint8_t op = hr.GetU8();
+      Digest key = hr.GetArray<32>();
+      uint32_t value_len = hr.GetU32();
+      if (magic != kRecordMagic || value_len > (64u << 20)) {
+        break;  // Corrupt record; stop at last good prefix.
+      }
+      Bytes value(value_len);
+      if (value_len > 0 && std::fread(value.data(), 1, value_len, rf) != value_len) {
+        break;  // Torn value.
+      }
+      uint8_t crc_bytes[4];
+      if (std::fread(crc_bytes, 1, 4, rf) != 4) {
+        break;  // Torn crc.
+      }
+      Reader cr(crc_bytes, 4);
+      uint32_t stored_crc = cr.GetU32();
+
+      Writer crc_input;
+      crc_input.PutRaw(head, sizeof(head));
+      crc_input.PutRaw(value);
+      if (Crc32(crc_input.bytes().data(), crc_input.size()) != stored_crc) {
+        break;  // Corrupt record.
+      }
+
+      if (op == kOpPut) {
+        store->mem_.Put(key, std::move(value));
+      } else if (op == kOpErase) {
+        store->mem_.Erase(key);
+      } else {
+        break;
+      }
+      ++store->recovered_records_;
+    }
+    std::fclose(rf);
+  }
+  return store;
+}
+
+WalStore::~WalStore() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void WalStore::AppendRecord(uint8_t op, const Digest& key, const Bytes& value) {
+  Writer w(4 + 1 + 32 + 4 + value.size() + 4);
+  w.PutU32(kRecordMagic);
+  w.PutU8(op);
+  w.PutRaw(key);
+  w.PutU32(static_cast<uint32_t>(value.size()));
+  w.PutRaw(value);
+  uint32_t crc = Crc32(w.bytes().data(), w.size());
+  w.PutU32(crc);
+  std::fwrite(w.bytes().data(), 1, w.size(), file_);
+}
+
+void WalStore::Put(const Digest& key, Bytes value) {
+  AppendRecord(kOpPut, key, value);
+  mem_.Put(key, std::move(value));
+}
+
+std::optional<Bytes> WalStore::Get(const Digest& key) const { return mem_.Get(key); }
+
+bool WalStore::Contains(const Digest& key) const { return mem_.Contains(key); }
+
+bool WalStore::Erase(const Digest& key) {
+  if (!mem_.Contains(key)) {
+    return false;
+  }
+  AppendRecord(kOpErase, key, {});
+  return mem_.Erase(key);
+}
+
+void WalStore::Sync() { std::fflush(file_); }
+
+}  // namespace nt

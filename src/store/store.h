@@ -1,0 +1,104 @@
+// Persistent key-value storage — the role RocksDB plays in the paper's
+// artifact (§6: "Data-structures are persisted using RocksDB").
+//
+// Two implementations:
+//  - MemStore: plain in-memory map (used by most simulations).
+//  - WalStore: in-memory index backed by an append-only write-ahead log on
+//    disk with CRC-protected records and recovery, for durability tests and
+//    the storage micro-benchmarks.
+#ifndef SRC_STORE_STORE_H_
+#define SRC_STORE_STORE_H_
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/bytes.h"
+#include "src/crypto/hash.h"
+
+namespace nt {
+
+// Digest-keyed blob store.
+class Store {
+ public:
+  virtual ~Store() = default;
+
+  // Inserts or overwrites.
+  virtual void Put(const Digest& key, Bytes value) = 0;
+
+  // Returns the stored value, or nullopt.
+  virtual std::optional<Bytes> Get(const Digest& key) const = 0;
+
+  virtual bool Contains(const Digest& key) const = 0;
+
+  // Removes the key if present. Returns true if it was present.
+  virtual bool Erase(const Digest& key) = 0;
+
+  virtual size_t size() const = 0;
+};
+
+class MemStore : public Store {
+ public:
+  void Put(const Digest& key, Bytes value) override;
+  std::optional<Bytes> Get(const Digest& key) const override;
+  bool Contains(const Digest& key) const override;
+  bool Erase(const Digest& key) override;
+  size_t size() const override { return map_.size(); }
+
+ private:
+  struct DigestHash {
+    size_t operator()(const Digest& d) const {
+      size_t h;
+      static_assert(sizeof(h) <= 32);
+      std::memcpy(&h, d.data(), sizeof(h));
+      return h;
+    }
+  };
+
+  std::unordered_map<Digest, Bytes, DigestHash> map_;
+};
+
+// Append-only WAL-backed store. Every mutation is written as a
+// length-prefixed, CRC32-protected record before being applied to the
+// in-memory index. Open() replays the log, ignoring a torn tail.
+class WalStore : public Store {
+ public:
+  // Opens (creating if needed) the log at `path` and replays it.
+  // Returns nullptr if the file cannot be opened for appending.
+  static std::unique_ptr<WalStore> Open(const std::string& path);
+
+  ~WalStore() override;
+
+  void Put(const Digest& key, Bytes value) override;
+  std::optional<Bytes> Get(const Digest& key) const override;
+  bool Contains(const Digest& key) const override;
+  bool Erase(const Digest& key) override;
+  size_t size() const override { return mem_.size(); }
+
+  // Flushes buffered records to the OS.
+  void Sync();
+
+  // Number of records replayed by Open() (for recovery tests).
+  size_t recovered_records() const { return recovered_records_; }
+
+ private:
+  WalStore(std::FILE* file, const std::string& path) : file_(file), path_(path) {}
+
+  void AppendRecord(uint8_t op, const Digest& key, const Bytes& value);
+
+  std::FILE* file_;
+  std::string path_;
+  MemStore mem_;
+  size_t recovered_records_ = 0;
+};
+
+// CRC32 (IEEE 802.3 polynomial, bit-reflected) over a byte buffer; used by
+// the WAL record format and exposed for tests.
+uint32_t Crc32(const uint8_t* data, size_t len);
+
+}  // namespace nt
+
+#endif  // SRC_STORE_STORE_H_

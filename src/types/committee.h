@@ -1,0 +1,61 @@
+// Committee configuration: the identities, public keys, and quorum
+// thresholds of the n validators (f < n/3 may be faulty).
+#ifndef SRC_TYPES_COMMITTEE_H_
+#define SRC_TYPES_COMMITTEE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/crypto/signer.h"
+
+namespace nt {
+
+using ValidatorId = uint32_t;
+using WorkerId = uint32_t;
+using Round = uint64_t;
+
+struct ValidatorInfo {
+  PublicKey key{};
+  // Region index used by the latency model (WanRegion for WAN runs).
+  uint32_t region = 0;
+};
+
+class Committee {
+ public:
+  Committee() = default;
+  explicit Committee(std::vector<ValidatorInfo> validators)
+      : validators_(std::move(validators)) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(validators_.size()); }
+
+  // Maximum number of Byzantine validators tolerated: f = floor((n-1)/3).
+  uint32_t f() const { return (size() - 1) / 3; }
+
+  // 2f+1 — certificates of availability, round advancement.
+  uint32_t quorum_threshold() const { return 2 * f() + 1; }
+
+  // f+1 — guaranteed to include one honest validator (Tusk commit rule).
+  uint32_t validity_threshold() const { return f() + 1; }
+
+  const ValidatorInfo& validator(ValidatorId id) const { return validators_[id]; }
+  const PublicKey& key_of(ValidatorId id) const { return validators_[id].key; }
+
+  std::optional<ValidatorId> IndexOf(const PublicKey& key) const {
+    for (uint32_t i = 0; i < size(); ++i) {
+      if (validators_[i].key == key) {
+        return i;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool Contains(ValidatorId id) const { return id < size(); }
+
+ private:
+  std::vector<ValidatorInfo> validators_;
+};
+
+}  // namespace nt
+
+#endif  // SRC_TYPES_COMMITTEE_H_

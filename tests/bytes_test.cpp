@@ -1,0 +1,49 @@
+#include "src/common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace nt {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  std::string hex = ToHex(data);
+  EXPECT_EQ(hex, "0001abff7f");
+  auto back = FromHex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(BytesTest, HexEmpty) {
+  EXPECT_EQ(ToHex(Bytes{}), "");
+  auto back = FromHex("");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(BytesTest, HexUppercaseAccepted) {
+  auto v = FromHex("AbCdEf");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, (Bytes{0xab, 0xcd, 0xef}));
+}
+
+TEST(BytesTest, HexRejectsOddLength) { EXPECT_FALSE(FromHex("abc").has_value()); }
+
+TEST(BytesTest, HexRejectsNonHexChars) {
+  EXPECT_FALSE(FromHex("zz").has_value());
+  EXPECT_FALSE(FromHex("a ").has_value());
+  EXPECT_FALSE(FromHex("0x").has_value());
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3, 4};
+  Bytes b = {1, 2, 3, 4};
+  Bytes c = {1, 2, 3, 5};
+  EXPECT_TRUE(ConstantTimeEqual(a.data(), b.data(), a.size()));
+  EXPECT_FALSE(ConstantTimeEqual(a.data(), c.data(), a.size()));
+  EXPECT_TRUE(ConstantTimeEqual(a.data(), c.data(), 3));  // Prefix equal.
+  EXPECT_TRUE(ConstantTimeEqual(a.data(), b.data(), 0));  // Empty: equal.
+}
+
+}  // namespace
+}  // namespace nt

@@ -1,0 +1,325 @@
+// Byzantine-behaviour tests: a malicious validator that equivocates
+// (proposes two different headers for the same round to different peers)
+// and replays headers. The quorum-intersection design must ensure at most
+// one certificate of availability per (round, author) ever forms, honest
+// validators vote at most once per (author, round), and the DAG + Tusk keep
+// running (the paper's §3.1 "Intuitions behind security argument").
+#include <gtest/gtest.h>
+
+#include "src/crypto/coin.h"
+#include "src/narwhal/primary.h"
+#include "src/runtime/cluster.h"
+#include "src/tusk/tusk.h"
+
+namespace nt {
+namespace {
+
+constexpr uint32_t kN = 4;        // f = 1.
+constexpr ValidatorId kByz = 3;   // The malicious validator.
+
+// A hand-driven malicious primary: speaks the real wire protocol through
+// the real messages, but signs whatever it wants.
+class EquivocatingPrimary : public NetNode {
+ public:
+  EquivocatingPrimary(const Committee& committee, Network* network, Topology* topology,
+                      Signer* signer)
+      : committee_(committee), network_(network), topology_(topology), signer_(signer) {}
+
+  void set_net_id(uint32_t id) { net_id_ = id; }
+
+  void OnStart() override {}
+
+  void OnMessage(uint32_t from, const MessagePtr& msg) override {
+    (void)from;
+    if (auto cert = std::dynamic_pointer_cast<const MsgCertificate>(msg)) {
+      certs_[cert->cert.round][cert->cert.author] = cert->cert;
+      MaybeAct();
+      return;
+    }
+    if (auto vote = std::dynamic_pointer_cast<const MsgVote>(msg)) {
+      votes_[vote->vote.header_digest][vote->vote.voter] = vote->vote.sig;
+      MaybeFormCerts();
+      return;
+    }
+  }
+
+  uint64_t certs_formed() const { return certs_formed_; }
+  bool equivocated() const { return equivocated_; }
+
+ private:
+  std::shared_ptr<BlockHeader> MakeHeader(Round round, std::vector<Certificate> parents) {
+    auto header = std::make_shared<BlockHeader>();
+    header->author = kByz;
+    header->round = round;
+    header->parents = std::move(parents);
+    header->author_sig = signer_->Sign(header->ComputeDigest());
+    return header;
+  }
+
+  void SendHeaderTo(const std::shared_ptr<BlockHeader>& header, ValidatorId target) {
+    network_->Send(net_id_, topology_->primary_of[target],
+                   std::make_shared<MsgHeader>(header, header->ComputeDigest()));
+  }
+
+  void MaybeAct() {
+    // Step 1: once 2f+1 round-0 certificates are known, join round 1
+    // honestly (one header to everyone) so we earn a certificate.
+    if (!proposed_r1_ && certs_[0].size() >= committee_.quorum_threshold()) {
+      proposed_r1_ = true;
+      std::vector<Certificate> parents;
+      for (const auto& [author, cert] : certs_[0]) {
+        parents.push_back(cert);
+      }
+      auto header = MakeHeader(1, parents);
+      own_digests_.insert(header->ComputeDigest());
+      own_round_[header->ComputeDigest()] = 1;
+      for (ValidatorId v = 0; v < kN; ++v) {
+        if (v != kByz) {
+          SendHeaderTo(header, v);
+        }
+      }
+    }
+    // Step 2: once round-1 certificates exist (including ours), EQUIVOCATE
+    // in round 2: two different headers, split between peers.
+    if (!equivocated_ && certs_[1].size() >= kN) {
+      equivocated_ = true;
+      std::vector<Certificate> all;
+      for (const auto& [author, cert] : certs_[1]) {
+        all.push_back(cert);
+      }
+      // Two distinct quorums of parents -> two distinct header digests.
+      std::vector<Certificate> first(all.begin(), all.begin() + 3);
+      std::vector<Certificate> second(all.begin() + 1, all.begin() + 4);
+      auto header_x = MakeHeader(2, first);
+      auto header_y = MakeHeader(2, second);
+      own_digests_.insert(header_x->ComputeDigest());
+      own_digests_.insert(header_y->ComputeDigest());
+      own_round_[header_x->ComputeDigest()] = 2;
+      own_round_[header_y->ComputeDigest()] = 2;
+      SendHeaderTo(header_x, 0);
+      SendHeaderTo(header_x, 1);
+      SendHeaderTo(header_y, 1);  // Validator 1 sees both.
+      SendHeaderTo(header_y, 2);
+    }
+  }
+
+  void MaybeFormCerts() {
+    for (const Digest& digest : own_digests_) {
+      if (certified_.count(digest) != 0) {
+        continue;
+      }
+      auto& votes = votes_[digest];
+      Round round = own_round_[digest];
+      // Add our own signature.
+      votes[kByz] = signer_->Sign(Certificate::VotePreimage(digest, round, kByz));
+      if (votes.size() < committee_.quorum_threshold()) {
+        continue;
+      }
+      Certificate cert;
+      cert.header_digest = digest;
+      cert.round = round;
+      cert.author = kByz;
+      for (const auto& [voter, sig] : votes) {
+        if (cert.votes.size() >= committee_.quorum_threshold()) {
+          break;
+        }
+        cert.votes.emplace_back(voter, sig);
+      }
+      certified_.insert(digest);
+      ++certs_formed_;
+      certs_[round][kByz] = cert;  // Track our own certificate too.
+      for (ValidatorId v = 0; v < kN; ++v) {
+        if (v != kByz) {
+          network_->Send(net_id_, topology_->primary_of[v], std::make_shared<MsgCertificate>(cert));
+        }
+      }
+      MaybeAct();
+    }
+  }
+
+  const Committee& committee_;
+  Network* network_;
+  Topology* topology_;
+  Signer* signer_;
+  uint32_t net_id_ = 0;
+
+  std::map<Round, std::map<ValidatorId, Certificate>> certs_;
+  std::map<Digest, std::map<ValidatorId, Signature>> votes_;
+  std::set<Digest> own_digests_;
+  std::map<Digest, Round> own_round_;
+  std::set<Digest> certified_;
+  bool proposed_r1_ = false;
+  bool equivocated_ = false;
+  uint64_t certs_formed_ = 0;
+};
+
+struct ByzFixture {
+  Scheduler scheduler;
+  WanLatencyModel latency;
+  FaultController faults;
+  std::unique_ptr<Network> network;
+  Committee committee;
+  Topology topology;
+  CommonCoin coin{11};
+  std::vector<std::unique_ptr<Signer>> signers;
+  std::vector<std::unique_ptr<Primary>> honest;
+  std::vector<std::unique_ptr<Tusk>> tusks;
+  std::unique_ptr<EquivocatingPrimary> byz;
+  std::vector<std::vector<Digest>> commit_sequences{kN - 1};
+
+  ByzFixture() {
+    network = std::make_unique<Network>(&scheduler, &latency, &faults, NetworkConfig{}, 13);
+    std::vector<ValidatorInfo> infos;
+    for (uint32_t v = 0; v < kN; ++v) {
+      signers.push_back(MakeSigner(SignerKind::kFast, DeriveSeed(77, v)));
+      infos.push_back(ValidatorInfo{signers.back()->public_key(), v % kWanRegionCount});
+    }
+    committee = Committee(std::move(infos));
+    topology.primary_of.resize(kN);
+    topology.worker_of.assign(kN, std::vector<uint32_t>(1));
+
+    NarwhalConfig config;
+    for (ValidatorId v = 0; v < kN - 1; ++v) {
+      honest.push_back(std::make_unique<Primary>(v, committee, config, network.get(), &topology,
+                                                 signers[v].get()));
+      uint32_t id = network->AddNode(honest.back().get(), v % kWanRegionCount,
+                                     network->NewMachine());
+      honest.back()->set_net_id(id);
+      topology.primary_of[v] = id;
+      topology.worker_of[v][0] = id;  // No workers: empty headers only.
+    }
+    byz = std::make_unique<EquivocatingPrimary>(committee, network.get(), &topology,
+                                                signers[kByz].get());
+    uint32_t byz_id = network->AddNode(byz.get(), 0, network->NewMachine());
+    byz->set_net_id(byz_id);
+    topology.primary_of[kByz] = byz_id;
+    topology.worker_of[kByz][0] = byz_id;
+
+    for (ValidatorId v = 0; v < kN - 1; ++v) {
+      tusks.push_back(std::make_unique<Tusk>(honest[v].get(), committee, &coin, 1000));
+      tusks.back()->add_on_commit([this, v](const Tusk::Committed& committed) {
+        commit_sequences[v].push_back(committed.digest);
+      });
+    }
+  }
+
+  void Run(TimeDelta duration) {
+    network->Start();
+    scheduler.RunUntil(duration);
+  }
+};
+
+TEST(ByzantineTest, EquivocationCannotDoubleCertify) {
+  ByzFixture fixture;
+  fixture.Run(Seconds(20));
+
+  ASSERT_TRUE(fixture.byz->equivocated());
+  // The attacker formed at most one certificate for round 2: three honest
+  // validators vote once each for (author 3, round 2), so only one of the
+  // two equivocating headers can reach 2f+1 = 3 signatures.
+  uint32_t round2_certs = 0;
+  std::set<Digest> round2_digests;
+  for (ValidatorId v = 0; v < kN - 1; ++v) {
+    const Certificate* cert = fixture.honest[v]->dag().GetCert(2, kByz);
+    if (cert != nullptr) {
+      round2_digests.insert(cert->header_digest);
+      round2_certs = std::max<uint32_t>(round2_certs, 1);
+    }
+  }
+  EXPECT_LE(round2_digests.size(), 1u) << "conflicting certificates certified!";
+}
+
+TEST(ByzantineTest, HonestValidatorsVoteOncePerAuthorRound) {
+  ByzFixture fixture;
+  fixture.Run(Seconds(20));
+  // Validator 1 received both equivocating headers; it voted for at most
+  // one header of (author 3, round 2) — its votes_cast is bounded by one
+  // per (author, round) pair it saw.
+  ASSERT_TRUE(fixture.byz->equivocated());
+  // Rounds advance far; the byz authored at most rounds {1, 2}: votes for
+  // author 3 from validator 1 <= 2. We can't observe per-author votes
+  // directly, but the absence of double certificates (above) plus continued
+  // liveness (below) is the observable contract.
+  EXPECT_GE(fixture.honest[1]->votes_cast(), 10u);
+}
+
+TEST(ByzantineTest, DagAndTuskStayLiveAndConsistent) {
+  ByzFixture fixture;
+  fixture.Run(Seconds(30));
+
+  // Liveness: the three honest validators are exactly 2f+1; the DAG keeps
+  // advancing and Tusk keeps committing despite the attacker.
+  for (ValidatorId v = 0; v < kN - 1; ++v) {
+    EXPECT_GT(fixture.honest[v]->round(), 20u) << "validator " << v;
+    EXPECT_GT(fixture.tusks[v]->committed_headers(), 10u) << "validator " << v;
+  }
+  // Safety: identical commit prefixes.
+  for (ValidatorId a = 0; a < kN - 1; ++a) {
+    for (ValidatorId b = a + 1; b < kN - 1; ++b) {
+      size_t common =
+          std::min(fixture.commit_sequences[a].size(), fixture.commit_sequences[b].size());
+      ASSERT_GT(common, 0u);
+      for (size_t i = 0; i < common; ++i) {
+        ASSERT_EQ(fixture.commit_sequences[a][i], fixture.commit_sequences[b][i]);
+      }
+    }
+  }
+}
+
+TEST(ByzantineHotStuffTest, ForgedHighQcInTimeoutRejected) {
+  // A Byzantine validator sends a timeout message carrying a forged high QC
+  // for a far-future view; honest validators must not fast-forward.
+  ClusterConfig config;
+  config.system = SystemKind::kBatchedHs;
+  config.num_validators = 4;
+  config.seed = 31;
+  Cluster cluster(config);
+  cluster.Start();
+  cluster.scheduler().RunUntil(Seconds(2));
+  View view_before = cluster.hotstuff(0)->current_view();
+
+  // Craft the forgery with validator 3's real timeout signature but a QC
+  // whose votes are garbage.
+  auto byz_signer = MakeSigner(SignerKind::kFast, DeriveSeed(config.seed, 3));
+  QuorumCert forged;
+  forged.block_digest = Sha256::Hash("phantom block");
+  forged.view = view_before + 1000;
+  for (uint32_t v = 0; v < 3; ++v) {
+    forged.votes.emplace_back(v, Signature{});
+  }
+  View timeout_view = view_before;
+  auto msg = std::make_shared<MsgHsTimeout>(
+      timeout_view, 3, byz_signer->Sign(TimeoutCert::VotePreimage(timeout_view)), forged);
+  // Deliver straight into validator 0's consensus handler.
+  cluster.hotstuff(0)->OnMessage(0, msg);
+  cluster.scheduler().RunUntil(Seconds(4));
+
+  EXPECT_LT(cluster.hotstuff(0)->current_view(), view_before + 100)
+      << "forged QC fast-forwarded the view";
+  // The cluster keeps operating normally.
+  cluster.scheduler().RunUntil(Seconds(10));
+  EXPECT_GT(cluster.hotstuff(0)->committed_blocks(), 2u);
+}
+
+TEST(ByzantineTest, ForgedCertificateRejected) {
+  ByzFixture fixture;
+  fixture.Run(Seconds(5));
+  // Inject a certificate with forged signatures directly at an honest
+  // validator: it must not enter the DAG.
+  Certificate forged;
+  forged.header_digest = Sha256::Hash("forged");
+  forged.round = fixture.honest[0]->round();
+  forged.author = kByz;
+  for (uint32_t v = 0; v < 3; ++v) {
+    Signature sig{};
+    sig[0] = static_cast<uint8_t>(v + 1);
+    forged.votes.emplace_back(v, sig);
+  }
+  fixture.network->Send(fixture.topology.primary_of[kByz], fixture.topology.primary_of[0],
+                        std::make_shared<MsgCertificate>(forged));
+  fixture.scheduler.RunUntil(fixture.scheduler.now() + Seconds(2));
+  EXPECT_EQ(fixture.honest[0]->dag().GetCertByDigest(forged.header_digest), nullptr);
+}
+
+}  // namespace
+}  // namespace nt

@@ -1,0 +1,86 @@
+#include "src/crypto/coin.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace nt {
+namespace {
+
+TEST(CommonCoinTest, DeterministicAcrossInstances) {
+  CommonCoin a(42);
+  CommonCoin b(42);
+  for (uint64_t wave = 0; wave < 100; ++wave) {
+    EXPECT_EQ(a.LeaderOf(wave, 10), b.LeaderOf(wave, 10));
+  }
+}
+
+TEST(CommonCoinTest, DifferentSeedsDiffer) {
+  CommonCoin a(1);
+  CommonCoin b(2);
+  int differing = 0;
+  for (uint64_t wave = 0; wave < 100; ++wave) {
+    if (a.LeaderOf(wave, 50) != b.LeaderOf(wave, 50)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(CommonCoinTest, InRangeAndRoughlyUniform) {
+  CommonCoin coin(7);
+  const uint32_t n = 4;
+  std::map<uint32_t, int> counts;
+  const int waves = 4000;
+  for (uint64_t wave = 0; wave < waves; ++wave) {
+    uint32_t leader = coin.LeaderOf(wave, n);
+    ASSERT_LT(leader, n);
+    counts[leader]++;
+  }
+  // Each of 4 validators should be elected ~1000 times; allow wide slack.
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_GT(counts[i], 800) << "validator " << i;
+    EXPECT_LT(counts[i], 1200) << "validator " << i;
+  }
+}
+
+TEST(ShareCoinTest, SharesAreDistinctPerValidator) {
+  ShareCoin coin(11, 7);
+  EXPECT_NE(coin.Share(0, 5), coin.Share(1, 5));
+  EXPECT_NE(coin.Share(0, 5), coin.Share(0, 6));
+}
+
+TEST(ShareCoinTest, SubsetIndependentCombination) {
+  const uint32_t n = 10;  // f = 3, threshold = 4.
+  ShareCoin coin(99, n);
+  for (uint64_t wave = 0; wave < 20; ++wave) {
+    // Combine three different qualifying subsets; all must agree.
+    std::vector<Digest> s1, s2, s3;
+    for (uint32_t i = 0; i < 4; ++i) {
+      s1.push_back(coin.Share(i, wave));
+      s2.push_back(coin.Share(i + 3, wave));
+      s3.push_back(coin.Share(2 * i, wave));
+    }
+    uint32_t v1 = ShareCoin::Combine(s1, n);
+    uint32_t v2 = ShareCoin::Combine(s2, n);
+    uint32_t v3 = ShareCoin::Combine(s3, n);
+    EXPECT_EQ(v1, v2);
+    EXPECT_EQ(v2, v3);
+    EXPECT_LT(v1, n);
+  }
+}
+
+TEST(ShareCoinTest, MatchesOwnLeaderOf) {
+  const uint32_t n = 4;
+  ShareCoin coin(5, n);
+  for (uint64_t wave = 0; wave < 10; ++wave) {
+    std::vector<Digest> shares;
+    for (uint32_t i = 1; i <= 2; ++i) {  // f+1 = 2 for n = 4.
+      shares.push_back(coin.Share(i, wave));
+    }
+    EXPECT_EQ(ShareCoin::Combine(shares, n), coin.LeaderOf(wave, n));
+  }
+}
+
+}  // namespace
+}  // namespace nt

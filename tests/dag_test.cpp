@@ -1,0 +1,204 @@
+// The certificate DAG: storage, conflict detection, garbage collection,
+// path queries, and deterministic causal-history linearization.
+#include "src/narwhal/dag.h"
+
+#include <gtest/gtest.h>
+
+namespace nt {
+namespace {
+
+// Test-local DAG builder: fabricates headers/certificates without
+// cryptography (the Dag never verifies — the Primary does).
+class DagBuilder {
+ public:
+  struct Node {
+    Digest digest{};
+    std::shared_ptr<BlockHeader> header;
+  };
+
+  // Adds a block for (round, author) referencing the given parents.
+  Node Add(Dag& dag, Round round, ValidatorId author, const std::vector<Node>& parents,
+           bool with_header = true) {
+    auto header = std::make_shared<BlockHeader>();
+    header->author = author;
+    header->round = round;
+    for (const Node& p : parents) {
+      Certificate parent_cert;
+      parent_cert.header_digest = p.digest;
+      parent_cert.round = p.header->round;
+      parent_cert.author = p.header->author;
+      header->parents.push_back(parent_cert);
+    }
+    Node node;
+    node.header = header;
+    node.digest = header->ComputeDigest();
+
+    Certificate cert;
+    cert.header_digest = node.digest;
+    cert.round = round;
+    cert.author = author;
+    EXPECT_TRUE(dag.AddCertificate(cert));
+    if (with_header) {
+      dag.AddHeader(header, node.digest);
+    }
+    return node;
+  }
+};
+
+TEST(DagTest, StoresAndLooksUpCertificates) {
+  Dag dag;
+  DagBuilder b;
+  auto n = b.Add(dag, 3, 2, {});
+  EXPECT_NE(dag.GetCert(3, 2), nullptr);
+  EXPECT_EQ(dag.GetCert(3, 1), nullptr);
+  EXPECT_EQ(dag.GetCert(2, 2), nullptr);
+  EXPECT_NE(dag.GetCertByDigest(n.digest), nullptr);
+  EXPECT_TRUE(dag.HasHeader(n.digest));
+  EXPECT_EQ(dag.CertCountAt(3), 1u);
+  EXPECT_EQ(dag.HighestRound(), 3u);
+}
+
+TEST(DagTest, DuplicateIsIdempotentConflictRejected) {
+  Dag dag;
+  DagBuilder b;
+  auto n = b.Add(dag, 1, 0, {});
+  Certificate dup;
+  dup.header_digest = n.digest;
+  dup.round = 1;
+  dup.author = 0;
+  EXPECT_TRUE(dag.AddCertificate(dup));  // Idempotent.
+  EXPECT_EQ(dag.TotalCertificates(), 1u);
+
+  Certificate conflict;
+  conflict.header_digest = Sha256::Hash("other");
+  conflict.round = 1;
+  conflict.author = 0;
+  EXPECT_FALSE(dag.AddCertificate(conflict));  // Equivocation.
+  EXPECT_EQ(dag.GetCert(1, 0)->header_digest, n.digest);
+}
+
+TEST(DagTest, HasPathFollowsParentEdges) {
+  Dag dag;
+  DagBuilder b;
+  auto r1a = b.Add(dag, 1, 0, {});
+  auto r1b = b.Add(dag, 1, 1, {});
+  auto r2 = b.Add(dag, 2, 0, {r1a});
+  auto r3 = b.Add(dag, 3, 0, {r2});
+  EXPECT_TRUE(dag.HasPath(r3.digest, r1a.digest));
+  EXPECT_TRUE(dag.HasPath(r3.digest, r2.digest));
+  EXPECT_TRUE(dag.HasPath(r3.digest, r3.digest));  // Reflexive.
+  EXPECT_FALSE(dag.HasPath(r3.digest, r1b.digest));
+  EXPECT_FALSE(dag.HasPath(r1a.digest, r3.digest));  // Wrong direction.
+}
+
+TEST(DagTest, CausalHistoryOrderedByRoundThenAuthor) {
+  Dag dag;
+  DagBuilder b;
+  auto a0 = b.Add(dag, 0, 0, {});
+  auto a1 = b.Add(dag, 0, 1, {});
+  auto a2 = b.Add(dag, 0, 2, {});
+  auto m1 = b.Add(dag, 1, 2, {a2, a1, a0});
+  auto m2 = b.Add(dag, 1, 1, {a0, a1});
+  auto top = b.Add(dag, 2, 0, {m1, m2});
+
+  Dag::History history = dag.CollectCausalHistory(top.digest, {});
+  ASSERT_TRUE(history.missing.empty());
+  ASSERT_EQ(history.ordered.size(), 6u);
+  EXPECT_EQ(history.ordered[0], a0.digest);
+  EXPECT_EQ(history.ordered[1], a1.digest);
+  EXPECT_EQ(history.ordered[2], a2.digest);
+  EXPECT_EQ(history.ordered[3], m2.digest);  // Round 1: author 1 < author 2.
+  EXPECT_EQ(history.ordered[4], m1.digest);
+  EXPECT_EQ(history.ordered[5], top.digest);  // Anchor last.
+}
+
+TEST(DagTest, CausalHistoryExcludesCommitted) {
+  Dag dag;
+  DagBuilder b;
+  auto a = b.Add(dag, 0, 0, {});
+  auto m = b.Add(dag, 1, 0, {a});
+  auto top = b.Add(dag, 2, 0, {m});
+
+  std::set<Digest> committed = {a.digest, m.digest};
+  Dag::History history = dag.CollectCausalHistory(top.digest, committed);
+  ASSERT_EQ(history.ordered.size(), 1u);
+  EXPECT_EQ(history.ordered[0], top.digest);
+
+  // A fully-committed anchor yields nothing.
+  committed.insert(top.digest);
+  EXPECT_TRUE(dag.CollectCausalHistory(top.digest, committed).ordered.empty());
+}
+
+TEST(DagTest, CausalHistoryReportsMissingHeaders) {
+  Dag dag;
+  DagBuilder b;
+  auto a = b.Add(dag, 0, 0, {}, /*with_header=*/false);
+  auto top = b.Add(dag, 1, 0, {a});
+  Dag::History history = dag.CollectCausalHistory(top.digest, {});
+  ASSERT_EQ(history.missing.size(), 1u);
+  EXPECT_EQ(history.missing[0], a.digest);
+  EXPECT_TRUE(history.ordered.empty());  // Nothing ordered while incomplete.
+}
+
+TEST(DagTest, GarbageCollectionDropsOldRounds) {
+  Dag dag;
+  DagBuilder b;
+  std::vector<DagBuilder::Node> prev;
+  DagBuilder::Node cursor;
+  for (Round r = 0; r < 10; ++r) {
+    cursor = b.Add(dag, r, 0, prev);
+    prev = {cursor};
+  }
+  EXPECT_EQ(dag.TotalCertificates(), 10u);
+  std::vector<Dag::Collected> collected = dag.GarbageCollect(5);
+  EXPECT_EQ(collected.size(), 5u);  // Rounds 0..4.
+  for (const Dag::Collected& record : collected) {
+    EXPECT_NE(record.header, nullptr);  // Evicted records carry their data.
+    EXPECT_EQ(record.cert.header_digest, record.digest);
+  }
+  EXPECT_EQ(dag.gc_round(), 5u);
+  EXPECT_EQ(dag.TotalCertificates(), 5u);
+  EXPECT_EQ(dag.GetCert(4, 0), nullptr);
+  EXPECT_NE(dag.GetCert(5, 0), nullptr);
+
+  // History collection stops at the horizon instead of reporting missing.
+  Dag::History history = dag.CollectCausalHistory(cursor.digest, {});
+  EXPECT_TRUE(history.missing.empty());
+  EXPECT_EQ(history.ordered.size(), 5u);
+
+  // Certificates below the horizon are ignored on arrival.
+  Certificate stale;
+  stale.header_digest = Sha256::Hash("stale");
+  stale.round = 2;
+  stale.author = 3;
+  EXPECT_TRUE(dag.AddCertificate(stale));
+  EXPECT_EQ(dag.GetCert(2, 3), nullptr);
+
+  // GC never moves backwards.
+  EXPECT_TRUE(dag.GarbageCollect(3).empty());
+  EXPECT_EQ(dag.gc_round(), 5u);
+}
+
+TEST(DagTest, BoundedMemoryUnderContinuousGc) {
+  // Simulates the paper's §3.3 claim: with a moving horizon, the DAG holds
+  // O(gc_depth * n) state regardless of run length.
+  Dag dag;
+  DagBuilder b;
+  const Round kDepth = 5;
+  std::vector<DagBuilder::Node> prev;
+  for (Round r = 0; r < 200; ++r) {
+    std::vector<DagBuilder::Node> current;
+    for (ValidatorId v = 0; v < 4; ++v) {
+      current.push_back(b.Add(dag, r, v, prev));
+    }
+    prev = current;
+    if (r > kDepth) {
+      dag.GarbageCollect(r - kDepth);
+    }
+  }
+  EXPECT_LE(dag.TotalCertificates(), (kDepth + 1) * 4u);
+  EXPECT_LE(dag.TotalHeaders(), (kDepth + 1) * 4u);
+}
+
+}  // namespace
+}  // namespace nt

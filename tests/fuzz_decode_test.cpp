@@ -1,0 +1,135 @@
+// Parser robustness: every Decode entry point is exercised with (a) random
+// garbage, (b) truncations of valid encodings, and (c) single-byte
+// corruptions. Decoders are the protocol's attack surface — they must never
+// crash, loop, or read out of bounds, only return nullopt or a value.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/exec/state_machine.h"
+#include "src/narwhal/light_client.h"
+#include "src/types/types.h"
+
+namespace nt {
+namespace {
+
+Bytes RandomBytes(Rng& rng, size_t max_len) {
+  Bytes out(rng.NextBelow(max_len + 1));
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.NextU64());
+  }
+  return out;
+}
+
+template <typename T>
+void DecodeGarbage(const Bytes& bytes) {
+  Reader r(bytes);
+  auto result = T::Decode(r);
+  (void)result;  // Any outcome is fine; not crashing is the property.
+}
+
+TEST(FuzzDecodeTest, RandomGarbageNeverCrashes) {
+  Rng rng(0xf22);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes garbage = RandomBytes(rng, 512);
+    DecodeGarbage<Batch>(garbage);
+    DecodeGarbage<Certificate>(garbage);
+    DecodeGarbage<BlockHeader>(garbage);
+    DecodeGarbage<Vote>(garbage);
+    {
+      Reader r(garbage);
+      (void)InclusionProof::Decode(r);
+    }
+    (void)ExecTx::Decode(garbage);
+  }
+}
+
+// A realistic valid header encoding to mutate.
+Bytes ValidHeaderEncoding() {
+  auto signer = MakeSigner(SignerKind::kFast, DeriveSeed(1, 0));
+  BlockHeader header;
+  header.author = 1;
+  header.round = 7;
+  BatchRef ref;
+  ref.digest = Sha256::Hash("batch");
+  ref.num_txs = 10;
+  ref.payload_bytes = 5120;
+  header.batches.push_back(ref);
+  Certificate parent;
+  parent.header_digest = Sha256::Hash("parent");
+  parent.round = 6;
+  parent.author = 0;
+  Bytes preimage = Certificate::VotePreimage(parent.header_digest, 6, 0);
+  for (uint32_t v = 0; v < 3; ++v) {
+    parent.votes.emplace_back(v, signer->Sign(preimage));
+  }
+  header.parents.assign(3, parent);
+  header.parents[1].author = 1;
+  header.parents[2].author = 2;
+  header.author_sig = signer->Sign(header.ComputeDigest());
+  Writer w;
+  header.Encode(w);
+  return w.Take();
+}
+
+TEST(FuzzDecodeTest, EveryTruncationHandled) {
+  Bytes valid = ValidHeaderEncoding();
+  for (size_t len = 0; len < valid.size(); ++len) {
+    Bytes truncated(valid.begin(), valid.begin() + len);
+    Reader r(truncated);
+    auto decoded = BlockHeader::Decode(r);
+    // Truncation can never yield a header that consumed the full input.
+    if (decoded.has_value()) {
+      EXPECT_FALSE(r.AtEnd() && len == valid.size());
+    }
+  }
+  // The untruncated form round-trips.
+  Reader r(valid);
+  ASSERT_TRUE(BlockHeader::Decode(r).has_value());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(FuzzDecodeTest, BitFlipsEitherParseOrReject) {
+  Bytes valid = ValidHeaderEncoding();
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    Bytes mutated = valid;
+    mutated[rng.NextBelow(mutated.size())] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+    Reader r(mutated);
+    auto decoded = BlockHeader::Decode(r);
+    if (decoded.has_value()) {
+      // A parsed-but-corrupted header must fail digest/signature checks
+      // downstream — verify the digest actually moved or content survived.
+      (void)decoded->ComputeDigest();
+    }
+  }
+}
+
+TEST(FuzzDecodeTest, HostileLengthPrefixesBounded) {
+  // A length prefix claiming 4GB of samples must not allocate unboundedly:
+  // the reader runs out of bytes and the loop exits on !ok().
+  Writer w;
+  w.PutU32(0);              // author
+  w.PutU32(0);              // worker
+  w.PutU64(0);              // seq
+  w.PutU64(0);              // num_txs
+  w.PutU64(0);              // payload_bytes
+  w.PutU32(0xffffffffu);    // hostile sample count
+  Bytes bytes = w.Take();
+  Reader r(bytes);
+  auto batch = Batch::Decode(r);
+  EXPECT_FALSE(batch.has_value());
+}
+
+TEST(FuzzDecodeTest, ExecTxGarbageAffectsNothing) {
+  Rng rng(7);
+  KvStateMachine sm;
+  for (int i = 0; i < 500; ++i) {
+    sm.Apply(RandomBytes(rng, 64));
+  }
+  EXPECT_EQ(sm.applied(), 0u);  // Nothing random decodes as a valid tx...
+  EXPECT_EQ(sm.keys(), 0u);     // ...and state is untouched.
+  EXPECT_EQ(sm.rejected(), 500u);
+}
+
+}  // namespace
+}  // namespace nt

@@ -1,0 +1,117 @@
+// Known-answer and property tests for SHA-256 / SHA-512, including the
+// runtime-derived FIPS 180-4 constants (pinned by the NIST vectors).
+#include "src/crypto/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/bytes.h"
+
+namespace nt {
+namespace {
+
+TEST(Sha256Test, NistVectorEmpty) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, NistVectorAbc) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, NistVectorTwoBlocks) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(DigestHex(h.Finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  std::string msg;
+  for (int i = 0; i < 300; ++i) {
+    msg.push_back(static_cast<char>(i % 251));
+  }
+  // Split the message at every boundary; digest must not depend on chunking.
+  Digest expected = Sha256::Hash(msg);
+  for (size_t split = 0; split <= msg.size(); split += 17) {
+    Sha256 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(h.Finalize(), expected) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, LengthBoundaryPadding) {
+  // 55, 56, 63, 64, 65 bytes straddle the padding boundary.
+  for (size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 127u, 128u}) {
+    std::string msg(len, 'x');
+    Digest once = Sha256::Hash(msg);
+    Sha256 h;
+    for (char c : msg) {
+      h.Update(std::string(1, c));
+    }
+    EXPECT_EQ(h.Finalize(), once) << "len " << len;
+  }
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::Hash("abc"), Sha256::Hash("abd"));
+  EXPECT_NE(Sha256::Hash("abc"), Sha256::Hash(std::string_view("abc\0", 4)));
+}
+
+TEST(Sha512Test, NistVectorEmpty) {
+  auto out = Sha512::Hash(nullptr, 0);
+  EXPECT_EQ(ToHex(out.data(), out.size()),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512Test, NistVectorAbc) {
+  const char* msg = "abc";
+  auto out = Sha512::Hash(reinterpret_cast<const uint8_t*>(msg), 3);
+  EXPECT_EQ(ToHex(out.data(), out.size()),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512Test, NistVectorTwoBlocks) {
+  const char* msg =
+      "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+      "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+  auto out = Sha512::Hash(reinterpret_cast<const uint8_t*>(msg), 112);
+  EXPECT_EQ(ToHex(out.data(), out.size()),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512Test, StreamingMatchesOneShot) {
+  Bytes msg(777);
+  for (size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<uint8_t>(i * 7);
+  }
+  auto expected = Sha512::Hash(msg);
+  Sha512 h;
+  h.Update(msg.data(), 100);
+  h.Update(msg.data() + 100, 28);
+  h.Update(msg.data() + 128, msg.size() - 128);
+  EXPECT_EQ(h.Finalize(), expected);
+}
+
+TEST(DigestTest, HexHelpers) {
+  Digest d = Sha256::Hash("abc");
+  EXPECT_EQ(DigestHex(d).size(), 64u);
+  EXPECT_EQ(DigestShort(d), DigestHex(d).substr(0, 8));
+}
+
+}  // namespace
+}  // namespace nt

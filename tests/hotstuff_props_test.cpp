@@ -1,0 +1,98 @@
+// Parameterized adversity sweep for the HotStuff family: combinations of
+// crash faults, message loss, and asynchrony windows across seeds and
+// mempool modes. The invariant under every combination is safety (identical
+// commit prefixes); liveness is asserted wherever quorum and eventual
+// synchrony hold.
+#include <gtest/gtest.h>
+
+#include "src/runtime/client.h"
+#include "src/runtime/cluster.h"
+
+namespace nt {
+namespace {
+
+struct AdversityParams {
+  SystemKind system;
+  uint32_t nodes;
+  uint32_t faults;
+  double loss;
+  bool async_window;
+  uint64_t seed;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<AdversityParams>& info) {
+  const AdversityParams& p = info.param;
+  std::string system = p.system == SystemKind::kBatchedHs ? "batched" : "narwhalhs";
+  return system + "_n" + std::to_string(p.nodes) + "_f" + std::to_string(p.faults) + "_l" +
+         std::to_string(static_cast<int>(p.loss * 100)) + (p.async_window ? "_async" : "") +
+         "_s" + std::to_string(p.seed);
+}
+
+class HotStuffAdversityTest : public ::testing::TestWithParam<AdversityParams> {};
+
+TEST_P(HotStuffAdversityTest, SafetyAlwaysLivenessWhenPossible) {
+  const AdversityParams& p = GetParam();
+  const TimePoint kEnd = Seconds(40);
+
+  ClusterConfig config;
+  config.system = p.system;
+  config.num_validators = p.nodes;
+  config.seed = p.seed;
+  Cluster cluster(config);
+  for (uint32_t i = 0; i < p.faults; ++i) {
+    cluster.CrashValidator(p.nodes - 1 - i, Seconds(2 + 3 * i));  // Staggered crashes.
+  }
+  cluster.faults().SetLossRate(p.loss);
+  if (p.async_window) {
+    cluster.faults().AddAsynchronyWindow(Seconds(8), Seconds(16), 20.0);
+  }
+
+  std::vector<std::vector<Digest>> sequences(p.nodes);
+  for (ValidatorId v = 0; v < p.nodes; ++v) {
+    cluster.hotstuff(v)->set_on_commit([&sequences, v](const HsBlock& block, View) {
+      sequences[v].push_back(block.ComputeDigest());
+    });
+  }
+  std::vector<std::unique_ptr<LoadGenerator>> clients;
+  LoadGenerator::Options options;
+  options.rate_tps = 2000.0 / p.nodes;
+  options.stop_at = kEnd;
+  for (ValidatorId v = 0; v < p.nodes; ++v) {
+    clients.push_back(std::make_unique<LoadGenerator>(&cluster, v, 0, options));
+    clients.back()->Start();
+  }
+  cluster.Start();
+  cluster.scheduler().RunUntil(kEnd);
+
+  // Safety: prefix agreement between every pair of alive validators.
+  const uint32_t alive = p.nodes - p.faults;
+  for (uint32_t a = 0; a < alive; ++a) {
+    for (uint32_t b = a + 1; b < alive; ++b) {
+      size_t common = std::min(sequences[a].size(), sequences[b].size());
+      for (size_t i = 0; i < common; ++i) {
+        ASSERT_EQ(sequences[a][i], sequences[b][i])
+            << "validators " << a << "/" << b << " diverge at " << i;
+      }
+    }
+  }
+  // Liveness: quorum survives every swept configuration (faults <= f), so
+  // commits must keep happening after the adversity ends.
+  ASSERT_GT(sequences[0].size(), 5u);
+  EXPECT_GT(cluster.hotstuff(0)->current_view(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HotStuffAdversityTest,
+    ::testing::Values(
+        AdversityParams{SystemKind::kBatchedHs, 4, 0, 0.05, false, 1},
+        AdversityParams{SystemKind::kBatchedHs, 4, 1, 0.0, false, 2},
+        AdversityParams{SystemKind::kBatchedHs, 4, 1, 0.05, false, 3},
+        AdversityParams{SystemKind::kBatchedHs, 7, 2, 0.02, true, 4},
+        AdversityParams{SystemKind::kNarwhalHs, 4, 0, 0.05, false, 5},
+        AdversityParams{SystemKind::kNarwhalHs, 4, 1, 0.05, false, 6},
+        AdversityParams{SystemKind::kNarwhalHs, 7, 2, 0.02, true, 7},
+        AdversityParams{SystemKind::kNarwhalHs, 10, 3, 0.05, true, 8}),
+    ParamName);
+
+}  // namespace
+}  // namespace nt

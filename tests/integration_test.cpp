@@ -1,0 +1,81 @@
+// End-to-end cluster tests: all four systems commit transactions on the
+// simulated WAN; crash faults and partitions are survived by the
+// Narwhal-based systems.
+#include <gtest/gtest.h>
+
+#include "src/runtime/experiment.h"
+
+namespace nt {
+namespace {
+
+ExperimentParams BaseParams(SystemKind system) {
+  ExperimentParams params;
+  params.system = system;
+  params.nodes = 4;
+  params.workers = 1;
+  params.rate_tps = 2000;
+  params.duration = Seconds(12);
+  params.warmup = Seconds(4);
+  params.seed = 7;
+  return params;
+}
+
+TEST(IntegrationTest, TuskCommitsTransactions) {
+  ExperimentResult result = RunExperiment(BaseParams(SystemKind::kTusk));
+  EXPECT_GT(result.committed_txs, 1000u);
+  EXPECT_GT(result.tps, 500.0);
+  EXPECT_GT(result.sampled_txs, 10u);
+  EXPECT_GT(result.avg_latency_s, 0.0);
+  EXPECT_LT(result.avg_latency_s, 10.0);
+}
+
+TEST(IntegrationTest, NarwhalHsCommitsTransactions) {
+  ExperimentResult result = RunExperiment(BaseParams(SystemKind::kNarwhalHs));
+  EXPECT_GT(result.committed_txs, 1000u);
+  EXPECT_GT(result.tps, 500.0);
+  EXPECT_LT(result.avg_latency_s, 10.0);
+}
+
+TEST(IntegrationTest, BatchedHsCommitsTransactions) {
+  ExperimentResult result = RunExperiment(BaseParams(SystemKind::kBatchedHs));
+  EXPECT_GT(result.committed_txs, 1000u);
+  EXPECT_LT(result.avg_latency_s, 10.0);
+}
+
+TEST(IntegrationTest, BaselineHsCommitsTransactions) {
+  ExperimentParams params = BaseParams(SystemKind::kBaselineHs);
+  params.rate_tps = 1000;
+  ExperimentResult result = RunExperiment(params);
+  EXPECT_GT(result.committed_txs, 500u);
+  EXPECT_LT(result.avg_latency_s, 10.0);
+}
+
+TEST(IntegrationTest, DagRiderCommitsTransactions) {
+  ExperimentResult result = RunExperiment(BaseParams(SystemKind::kDagRider));
+  EXPECT_GT(result.committed_txs, 1000u);
+}
+
+TEST(IntegrationTest, TuskSurvivesOneCrash) {
+  ExperimentParams params = BaseParams(SystemKind::kTusk);
+  params.nodes = 4;
+  params.faults = 1;
+  ExperimentResult result = RunExperiment(params);
+  EXPECT_GT(result.committed_txs, 500u);
+}
+
+TEST(IntegrationTest, NarwhalHsSurvivesOneCrash) {
+  ExperimentParams params = BaseParams(SystemKind::kNarwhalHs);
+  params.faults = 1;
+  ExperimentResult result = RunExperiment(params);
+  EXPECT_GT(result.committed_txs, 500u);
+}
+
+TEST(IntegrationTest, DeterministicForSameSeed) {
+  ExperimentResult a = RunExperiment(BaseParams(SystemKind::kTusk));
+  ExperimentResult b = RunExperiment(BaseParams(SystemKind::kTusk));
+  EXPECT_EQ(a.committed_txs, b.committed_txs);
+  EXPECT_DOUBLE_EQ(a.avg_latency_s, b.avg_latency_s);
+}
+
+}  // namespace
+}  // namespace nt

@@ -1,0 +1,158 @@
+// The §2.1 mempool abstraction: write / valid / read / read_causal and the
+// properties the paper states for them, exercised on live clusters.
+#include "src/narwhal/mempool.h"
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/cluster.h"
+
+namespace nt {
+namespace {
+
+ClusterConfig TuskConfig(uint64_t seed) {
+  ClusterConfig config;
+  config.system = SystemKind::kTusk;
+  config.num_validators = 4;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<Bytes> MakeBlock(int tag, size_t txs = 5) {
+  std::vector<Bytes> block;
+  for (size_t i = 0; i < txs; ++i) {
+    block.push_back(Bytes{static_cast<uint8_t>(tag), static_cast<uint8_t>(i), 7});
+  }
+  return block;
+}
+
+TEST(MempoolTest, WriteBecomesCertified) {
+  Cluster cluster(TuskConfig(1));
+  cluster.Start();
+  Mempool pool = cluster.MempoolOf(0);
+
+  Digest d = pool.Write(MakeBlock(1));
+  EXPECT_FALSE(pool.IsWriteCertified(d));  // Not yet: needs a round trip.
+  cluster.scheduler().RunUntil(Seconds(5));
+  EXPECT_TRUE(pool.IsWriteCertified(d));
+
+  auto cert = pool.CertificateFor(d);
+  ASSERT_TRUE(cert.has_value());
+  // valid(d, c(d)) holds for the real certificate...
+  auto verifier = MakeSigner(SignerKind::kFast, DeriveSeed(1, 0));
+  EXPECT_TRUE(Mempool::Valid(cluster.committee(), *verifier, *cert));
+  // ...and fails for a tampered one.
+  Certificate forged = *cert;
+  forged.votes[0].second[0] ^= 1;
+  EXPECT_FALSE(Mempool::Valid(cluster.committee(), *verifier, forged));
+}
+
+TEST(MempoolTest, ReadReturnsWrittenBlock) {
+  Cluster cluster(TuskConfig(2));
+  cluster.Start();
+  Mempool pool = cluster.MempoolOf(0);
+  std::vector<Bytes> block = MakeBlock(9, 3);
+  Digest d = pool.Write(block);
+  cluster.scheduler().RunUntil(Seconds(5));
+
+  // Integrity at the writer...
+  auto batch = pool.Read(d);
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->txs, block);
+
+  // ...and Block-Availability: every other validator can read it too, and
+  // reads agree (the dissemination layer replicated it).
+  for (ValidatorId v = 1; v < 4; ++v) {
+    auto replica = cluster.MempoolOf(v).Read(d);
+    ASSERT_NE(replica, nullptr) << "validator " << v;
+    EXPECT_EQ(replica->txs, block);
+    EXPECT_EQ(replica->ComputeDigest(), d);
+  }
+}
+
+TEST(MempoolTest, ReadUnknownDigestIsNull) {
+  Cluster cluster(TuskConfig(3));
+  cluster.Start();
+  cluster.scheduler().RunUntil(Seconds(1));
+  Digest bogus = Sha256::Hash("never written");
+  EXPECT_EQ(cluster.MempoolOf(0).Read(bogus), nullptr);
+  EXPECT_FALSE(cluster.MempoolOf(0).IsWriteCertified(bogus));
+}
+
+TEST(MempoolTest, ReadCausalContainment) {
+  // Containment (§2.1): for b' in read_causal(b), read_causal(b') is a
+  // subset of read_causal(b).
+  Cluster cluster(TuskConfig(4));
+  cluster.Start();
+  Mempool pool = cluster.MempoolOf(0);
+  pool.Write(MakeBlock(1));
+  cluster.scheduler().RunUntil(Seconds(3));
+  pool.Write(MakeBlock(2));
+  cluster.scheduler().RunUntil(Seconds(8));
+
+  const Dag& dag = cluster.primary(0)->dag();
+  // Pick the newest header with a complete local history as b.
+  Digest anchor{};
+  Round best = 0;
+  for (const auto& [digest, header] : dag.headers()) {
+    if (header->round >= best && pool.ReadCausal(digest).size() > 3) {
+      best = header->round;
+      anchor = digest;
+    }
+  }
+  std::vector<Digest> outer = pool.ReadCausal(anchor);
+  ASSERT_GT(outer.size(), 3u);
+  std::set<Digest> outer_set(outer.begin(), outer.end());
+  for (const Digest& inner_anchor : outer) {
+    for (const Digest& d : pool.ReadCausal(inner_anchor)) {
+      EXPECT_TRUE(outer_set.count(d) != 0) << "containment violated";
+    }
+  }
+}
+
+TEST(MempoolTest, TwoThirdsCausality) {
+  // 2/3-Causality (§2.1): read_causal of a fresh write returns at least 2/3
+  // of the blocks successfully written before it. The property is relative
+  // to the garbage-collection horizon, so keep all rounds for this test.
+  ClusterConfig config = TuskConfig(5);
+  config.narwhal.gc_depth = 100000;
+  Cluster cluster(config);
+  cluster.Start();
+  Mempool pool = cluster.MempoolOf(0);
+
+  std::vector<Digest> written;
+  for (int i = 0; i < 10; ++i) {
+    written.push_back(pool.Write(MakeBlock(i)));
+    cluster.scheduler().RunUntil(Seconds(2 + 2 * i));
+    ASSERT_TRUE(pool.IsWriteCertified(written.back())) << "write " << i;
+  }
+  Digest last = pool.Write(MakeBlock(99));
+  cluster.scheduler().RunUntil(Seconds(30));
+  ASSERT_TRUE(pool.IsWriteCertified(last));
+
+  // Find the header containing the last batch and take its causal history.
+  auto cert = pool.CertificateFor(last);
+  ASSERT_TRUE(cert.has_value());
+  std::vector<Digest> history = pool.ReadCausal(cert->header_digest);
+  ASSERT_FALSE(history.empty());
+
+  // Count previously-written batches covered by that history.
+  const Dag& dag = cluster.primary(0)->dag();
+  std::set<Digest> covered_batches;
+  for (const Digest& header_digest : history) {
+    auto header = dag.GetHeader(header_digest);
+    ASSERT_NE(header, nullptr);
+    for (const BatchRef& ref : header->batches) {
+      covered_batches.insert(ref.digest);
+    }
+  }
+  size_t covered = 0;
+  for (const Digest& d : written) {
+    if (covered_batches.count(d) != 0) {
+      ++covered;
+    }
+  }
+  EXPECT_GE(covered * 3, written.size() * 2) << "2/3-causality violated";
+}
+
+}  // namespace
+}  // namespace nt

@@ -1,0 +1,116 @@
+// Merkle accumulator: structure, proofs (all indices, all sizes including
+// non-powers of two with node promotion), tamper rejection, and determinism.
+#include "src/crypto/merkle.h"
+
+#include <gtest/gtest.h>
+
+namespace nt {
+namespace {
+
+std::vector<Digest> MakeLeaves(size_t n) {
+  std::vector<Digest> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    Digest d{};
+    d[0] = static_cast<uint8_t>(i);
+    d[1] = static_cast<uint8_t>(i >> 8);
+    leaves.push_back(Sha256::Hash(d.data(), d.size()));
+  }
+  return leaves;
+}
+
+TEST(MerkleTest, EmptyTreeHasZeroRoot) {
+  MerkleTree tree({});
+  EXPECT_EQ(tree.root(), Digest{});
+  EXPECT_EQ(tree.leaf_count(), 0u);
+}
+
+TEST(MerkleTest, SingleLeaf) {
+  auto leaves = MakeLeaves(1);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), MerkleTree::HashLeaf(leaves[0]));
+  auto proof = tree.Prove(0);
+  EXPECT_TRUE(proof.empty());
+  EXPECT_TRUE(MerkleTree::Verify(tree.root(), leaves[0], proof));
+}
+
+TEST(MerkleTest, TwoLeaves) {
+  auto leaves = MakeLeaves(2);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), MerkleTree::HashNode(MerkleTree::HashLeaf(leaves[0]),
+                                              MerkleTree::HashLeaf(leaves[1])));
+}
+
+TEST(MerkleTest, AllProofsVerifyAllSizes) {
+  // Powers of two and awkward odd sizes exercising node promotion.
+  for (size_t n : {2u, 3u, 4u, 5u, 7u, 8u, 13u, 16u, 33u, 100u}) {
+    auto leaves = MakeLeaves(n);
+    MerkleTree tree(leaves);
+    for (size_t i = 0; i < n; ++i) {
+      auto proof = tree.Prove(i);
+      EXPECT_TRUE(MerkleTree::Verify(tree.root(), leaves[i], proof))
+          << "n=" << n << " index=" << i;
+    }
+  }
+}
+
+TEST(MerkleTest, WrongLeafRejected) {
+  auto leaves = MakeLeaves(10);
+  MerkleTree tree(leaves);
+  auto proof = tree.Prove(3);
+  EXPECT_FALSE(MerkleTree::Verify(tree.root(), leaves[4], proof));
+  Digest zero{};
+  EXPECT_FALSE(MerkleTree::Verify(tree.root(), zero, proof));
+}
+
+TEST(MerkleTest, TamperedProofRejected) {
+  auto leaves = MakeLeaves(16);
+  MerkleTree tree(leaves);
+  auto proof = tree.Prove(5);
+  ASSERT_FALSE(proof.empty());
+  auto bad = proof;
+  bad[0].sibling[0] ^= 1;
+  EXPECT_FALSE(MerkleTree::Verify(tree.root(), leaves[5], bad));
+  bad = proof;
+  bad[1].sibling_on_left = !bad[1].sibling_on_left;
+  EXPECT_FALSE(MerkleTree::Verify(tree.root(), leaves[5], bad));
+}
+
+TEST(MerkleTest, ProofForWrongIndexRejected) {
+  auto leaves = MakeLeaves(8);
+  MerkleTree tree(leaves);
+  EXPECT_FALSE(MerkleTree::Verify(tree.root(), leaves[2], tree.Prove(6)));
+}
+
+TEST(MerkleTest, RootSensitiveToEveryLeaf) {
+  auto leaves = MakeLeaves(9);
+  MerkleTree base(leaves);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i][0] ^= 1;
+    EXPECT_NE(MerkleTree(mutated).root(), base.root()) << "leaf " << i;
+  }
+  // Order matters.
+  auto swapped = leaves;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_NE(MerkleTree(swapped).root(), base.root());
+}
+
+TEST(MerkleTest, DomainSeparationPreventsLeafNodeConfusion) {
+  // A leaf equal to HashNode(x, y) must not collide with the inner node.
+  auto leaves = MakeLeaves(2);
+  Digest inner = MerkleTree::HashNode(MerkleTree::HashLeaf(leaves[0]),
+                                      MerkleTree::HashLeaf(leaves[1]));
+  MerkleTree tree_of_inner({inner});
+  MerkleTree tree(leaves);
+  EXPECT_NE(tree_of_inner.root(), tree.root());
+}
+
+TEST(MerkleTest, ProofSizeIsLogarithmic) {
+  auto leaves = MakeLeaves(1024);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.Prove(0).size(), 10u);
+  EXPECT_EQ(tree.Prove(1023).size(), 10u);
+}
+
+}  // namespace
+}  // namespace nt

@@ -1,0 +1,239 @@
+// Parameterized property suites for the Narwhal mempool (paper §2.1) and
+// Tusk safety, swept over seeds, committee sizes, and fault patterns.
+#include <gtest/gtest.h>
+
+#include "src/runtime/client.h"
+#include "src/runtime/cluster.h"
+
+namespace nt {
+namespace {
+
+struct PropParams {
+  uint32_t nodes;
+  uint32_t faults;
+  uint64_t seed;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<PropParams>& info) {
+  return "n" + std::to_string(info.param.nodes) + "_f" + std::to_string(info.param.faults) +
+         "_s" + std::to_string(info.param.seed);
+}
+
+class NarwhalPropertyTest : public ::testing::TestWithParam<PropParams> {
+ protected:
+  struct Run {
+    std::unique_ptr<Cluster> cluster;
+    // Commit sequences per validator (header digests, in commit order).
+    std::vector<std::vector<Digest>> sequences;
+    std::vector<std::unique_ptr<LoadGenerator>> clients;
+  };
+
+  Run RunTusk(TimeDelta duration = Seconds(15)) {
+    const PropParams& p = GetParam();
+    Run run;
+    ClusterConfig config;
+    config.system = SystemKind::kTusk;
+    config.num_validators = p.nodes;
+    config.seed = p.seed;
+    run.cluster = std::make_unique<Cluster>(config);
+    run.sequences.resize(p.nodes);
+    for (uint32_t v = 0; v < p.nodes; ++v) {
+      run.cluster->tusk(v)->add_on_commit([&run, v](const Tusk::Committed& c) {
+        run.sequences[v].push_back(c.digest);
+      });
+    }
+    for (uint32_t i = 0; i < p.faults; ++i) {
+      run.cluster->CrashValidator(p.nodes - 1 - i, 0);
+    }
+    LoadGenerator::Options options;
+    options.rate_tps = 2000.0 / p.nodes;
+    options.stop_at = duration;
+    for (uint32_t v = 0; v < p.nodes; ++v) {
+      run.clients.push_back(std::make_unique<LoadGenerator>(run.cluster.get(), v, 0, options));
+      run.clients.back()->Start();
+    }
+    run.cluster->Start();
+    run.cluster->scheduler().RunUntil(duration);
+    return run;
+  }
+};
+
+// Tusk safety: all honest validators commit the same total order of headers
+// (prefix consistency), under every swept fault pattern and schedule.
+TEST_P(NarwhalPropertyTest, TotalOrderAgreement) {
+  Run run = RunTusk();
+  const uint32_t alive = GetParam().nodes - GetParam().faults;
+  ASSERT_GT(run.sequences[0].size(), 10u);
+  for (uint32_t a = 0; a < alive; ++a) {
+    for (uint32_t b = a + 1; b < alive; ++b) {
+      size_t common = std::min(run.sequences[a].size(), run.sequences[b].size());
+      ASSERT_GT(common, 0u);
+      for (size_t i = 0; i < common; ++i) {
+        ASSERT_EQ(run.sequences[a][i], run.sequences[b][i])
+            << "validators " << a << "/" << b << " diverge at " << i;
+      }
+    }
+  }
+}
+
+// Integrity (§2.1): every committed digest resolves to the same header
+// contents at every honest validator that stores it.
+TEST_P(NarwhalPropertyTest, Integrity) {
+  Run run = RunTusk();
+  const uint32_t alive = GetParam().nodes - GetParam().faults;
+  int checked = 0;
+  for (const Digest& digest : run.sequences[0]) {
+    std::optional<Digest> content_digest;
+    for (uint32_t v = 0; v < alive; ++v) {
+      auto header = run.cluster->primary(v)->dag().GetHeader(digest);
+      if (header == nullptr) {
+        continue;  // GC'd or not yet synced at v.
+      }
+      Digest d = header->ComputeDigest();
+      EXPECT_EQ(d, digest);
+      if (content_digest.has_value()) {
+        EXPECT_EQ(*content_digest, d);
+      }
+      content_digest = d;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+// Block-Availability (§2.1): every batch referenced by a committed header is
+// retrievable from the workers of at least f+1 honest validators.
+TEST_P(NarwhalPropertyTest, BlockAvailability) {
+  Run run = RunTusk();
+  const PropParams& p = GetParam();
+  const uint32_t alive = p.nodes - p.faults;
+  const Committee& committee = run.cluster->committee();
+  int batches_checked = 0;
+  for (const Digest& digest : run.sequences[0]) {
+    auto header = run.cluster->primary(0)->dag().GetHeader(digest);
+    if (header == nullptr) {
+      continue;
+    }
+    for (const BatchRef& ref : header->batches) {
+      uint32_t holders = 0;
+      for (uint32_t v = 0; v < alive; ++v) {
+        if (run.cluster->worker(v, 0)->GetBatch(ref.digest) != nullptr) {
+          ++holders;
+        }
+      }
+      EXPECT_GE(holders, committee.validity_threshold()) << "batch under-replicated";
+      ++batches_checked;
+    }
+  }
+  EXPECT_GT(batches_checked, 5);
+}
+
+// Containment (§2.1): commit order respects causality — every parent of a
+// committed header at or above the GC horizon is committed before it.
+TEST_P(NarwhalPropertyTest, Containment) {
+  Run run = RunTusk();
+  std::map<Digest, size_t> position;
+  for (size_t i = 0; i < run.sequences[0].size(); ++i) {
+    position[run.sequences[0][i]] = i;
+  }
+  const Dag& dag = run.cluster->primary(0)->dag();
+  int edges_checked = 0;
+  for (const auto& [digest, pos] : position) {
+    auto header = dag.GetHeader(digest);
+    if (header == nullptr) {
+      continue;
+    }
+    for (const Certificate& parent : header->parents) {
+      auto it = position.find(parent.header_digest);
+      if (it == position.end()) {
+        continue;  // Below the GC horizon at commit time.
+      }
+      EXPECT_LT(it->second, pos) << "child committed before parent";
+      ++edges_checked;
+    }
+  }
+  EXPECT_GT(edges_checked, 20);
+}
+
+// 1/2-Chain Quality (§2.1): with all-honest committees every author's share
+// is bounded; structurally, each committed round contributes >= 2f+1 distinct
+// authors, so no author exceeds ~1/(2f+1) of blocks plus slack.
+TEST_P(NarwhalPropertyTest, ChainQuality) {
+  Run run = RunTusk();
+  const PropParams& p = GetParam();
+  std::map<ValidatorId, size_t> per_author;
+  const Dag& dag = run.cluster->primary(0)->dag();
+  size_t counted = 0;
+  for (const Digest& digest : run.sequences[0]) {
+    const Certificate* cert = dag.GetCertByDigest(digest);
+    if (cert != nullptr) {
+      per_author[cert->author]++;
+      ++counted;
+    }
+  }
+  if (counted < 20) {
+    GTEST_SKIP() << "not enough surviving certificates after GC";
+  }
+  const uint32_t alive = p.nodes - p.faults;
+  for (const auto& [author, count] : per_author) {
+    // No author dominates: their share stays near 1/alive.
+    EXPECT_LT(static_cast<double>(count) / counted, 2.0 / alive + 0.1)
+        << "author " << author << " over-represented";
+  }
+}
+
+// Validity structure: every committed header above round 0 references at
+// least 2f+1 parents from the previous round with distinct authors.
+TEST_P(NarwhalPropertyTest, CommittedHeadersAreWellFormed) {
+  Run run = RunTusk();
+  const Committee& committee = run.cluster->committee();
+  const Dag& dag = run.cluster->primary(0)->dag();
+  int checked = 0;
+  for (const Digest& digest : run.sequences[0]) {
+    auto header = dag.GetHeader(digest);
+    if (header == nullptr || header->round == 0) {
+      continue;
+    }
+    std::set<ValidatorId> authors;
+    for (const Certificate& parent : header->parents) {
+      EXPECT_EQ(parent.round + 1, header->round);
+      authors.insert(parent.author);
+    }
+    EXPECT_GE(authors.size(), committee.quorum_threshold());
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+// Garbage collection bounds memory (§3.3): the DAG never holds more than
+// gc_depth + slack rounds of certificates.
+TEST_P(NarwhalPropertyTest, GarbageCollectionBoundsState) {
+  const PropParams& p = GetParam();
+  ClusterConfig config;
+  config.system = SystemKind::kTusk;
+  config.num_validators = p.nodes;
+  config.seed = p.seed;
+  config.narwhal.gc_depth = 10;
+  Cluster cluster(config);
+  for (uint32_t i = 0; i < p.faults; ++i) {
+    cluster.CrashValidator(p.nodes - 1 - i, 0);
+  }
+  cluster.Start();
+  cluster.scheduler().RunUntil(Seconds(30));
+
+  const Dag& dag = cluster.primary(0)->dag();
+  Round span = dag.HighestRound() - dag.gc_round();
+  EXPECT_GT(dag.gc_round(), 0u) << "GC never advanced";
+  EXPECT_LT(span, 10u + 30u) << "DAG span exceeds gc_depth + slack";
+  EXPECT_LT(dag.TotalCertificates(), (span + 2) * p.nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NarwhalPropertyTest,
+                         ::testing::Values(PropParams{4, 0, 1}, PropParams{4, 0, 2},
+                                           PropParams{4, 1, 3}, PropParams{7, 0, 1},
+                                           PropParams{7, 2, 2}, PropParams{10, 0, 1},
+                                           PropParams{10, 3, 7}),
+                         ParamName);
+
+}  // namespace
+}  // namespace nt

@@ -1,0 +1,112 @@
+#include "src/sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nt {
+namespace {
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(Millis(30), [&] { order.push_back(3); });
+  sched.ScheduleAt(Millis(10), [&] { order.push_back(1); });
+  sched.ScheduleAt(Millis(20), [&] { order.push_back(2); });
+  sched.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), Millis(30));
+}
+
+TEST(SchedulerTest, FifoForEqualTimes) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.ScheduleAt(Millis(5), [&order, i] { order.push_back(i); });
+  }
+  sched.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SchedulerTest, ScheduleAfterUsesCurrentTime) {
+  Scheduler sched;
+  TimePoint fired_at = -1;
+  sched.ScheduleAt(Millis(10), [&] {
+    sched.ScheduleAfter(Millis(5), [&] { fired_at = sched.now(); });
+  });
+  sched.RunUntilIdle();
+  EXPECT_EQ(fired_at, Millis(15));
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  auto id = sched.ScheduleAt(Millis(10), [&] { fired = true; });
+  sched.Cancel(id);
+  sched.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SchedulerTest, CancelAfterFireIsSafe) {
+  Scheduler sched;
+  auto id = sched.ScheduleAt(Millis(1), [] {});
+  sched.RunUntilIdle();
+  sched.Cancel(id);  // No effect; must not crash or corrupt.
+  bool fired = false;
+  sched.ScheduleAt(Millis(2), [&] { fired = true; });
+  sched.RunUntilIdle();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundary) {
+  Scheduler sched;
+  int count = 0;
+  sched.ScheduleAt(Millis(10), [&] { ++count; });
+  sched.ScheduleAt(Millis(20), [&] { ++count; });
+  sched.ScheduleAt(Millis(30), [&] { ++count; });
+  sched.RunUntil(Millis(20));
+  EXPECT_EQ(count, 2);  // Events at <= 20ms.
+  EXPECT_EQ(sched.now(), Millis(20));
+  sched.RunUntil(Millis(40));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sched.now(), Millis(40));
+}
+
+TEST(SchedulerTest, PastTimesClampToNow) {
+  Scheduler sched;
+  sched.RunUntil(Millis(100));
+  TimePoint fired_at = -1;
+  sched.ScheduleAt(Millis(50), [&] { fired_at = sched.now(); });
+  sched.RunUntilIdle();
+  EXPECT_EQ(fired_at, Millis(100));  // Never travels back in time.
+}
+
+TEST(SchedulerTest, EventsScheduledDuringRunExecute) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      sched.ScheduleAfter(Millis(1), recurse);
+    }
+  };
+  sched.ScheduleAfter(Millis(1), recurse);
+  sched.RunUntilIdle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sched.now(), Millis(5));
+}
+
+TEST(SchedulerTest, PendingEventsCount) {
+  Scheduler sched;
+  auto a = sched.ScheduleAt(Millis(1), [] {});
+  sched.ScheduleAt(Millis(2), [] {});
+  EXPECT_EQ(sched.pending_events(), 2u);
+  sched.Cancel(a);  // Still queued (lazy cancellation): upper bound holds.
+  EXPECT_EQ(sched.pending_events(), 2u);
+  sched.RunUntilIdle();
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace nt

@@ -1,0 +1,57 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace nt {
+namespace {
+
+TEST(StatsTest, EmptyIsZero) {
+  SampleStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+  EXPECT_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  SampleStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  // Sample stddev of this classic dataset is sqrt(32/7).
+  EXPECT_NEAR(s.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+}
+
+TEST(StatsTest, SingleSample) {
+  SampleStats s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.5);
+  EXPECT_EQ(s.StdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 3.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 3.5);
+}
+
+TEST(StatsTest, Percentiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(99), 99.01, 1e-9);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  SampleStats s;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 3.0);
+}
+
+}  // namespace
+}  // namespace nt

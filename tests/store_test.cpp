@@ -1,0 +1,155 @@
+// Storage substrate: MemStore semantics, WAL persistence, recovery from
+// clean shutdown, torn tails, and corruption.
+#include "src/store/store.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+namespace nt {
+namespace {
+
+Digest Key(int i) {
+  Digest d{};
+  d[0] = static_cast<uint8_t>(i);
+  d[1] = static_cast<uint8_t>(i >> 8);
+  return d;
+}
+
+class WalStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "wal_store_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".wal";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST(MemStoreTest, PutGetEraseContains) {
+  MemStore store;
+  EXPECT_FALSE(store.Contains(Key(1)));
+  EXPECT_FALSE(store.Get(Key(1)).has_value());
+  store.Put(Key(1), {1, 2, 3});
+  EXPECT_TRUE(store.Contains(Key(1)));
+  EXPECT_EQ(*store.Get(Key(1)), (Bytes{1, 2, 3}));
+  EXPECT_EQ(store.size(), 1u);
+  store.Put(Key(1), {9});  // Overwrite.
+  EXPECT_EQ(*store.Get(Key(1)), (Bytes{9}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.Erase(Key(1)));
+  EXPECT_FALSE(store.Erase(Key(1)));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(MemStoreTest, EmptyValueIsStored) {
+  MemStore store;
+  store.Put(Key(5), {});
+  EXPECT_TRUE(store.Contains(Key(5)));
+  EXPECT_TRUE(store.Get(Key(5))->empty());
+}
+
+TEST_F(WalStoreTest, PersistsAcrossReopen) {
+  {
+    auto store = WalStore::Open(path_);
+    ASSERT_NE(store, nullptr);
+    store->Put(Key(1), {1, 1, 1});
+    store->Put(Key(2), {2, 2});
+    store->Erase(Key(1));
+    store->Sync();
+  }
+  auto reopened = WalStore::Open(path_);
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->recovered_records(), 3u);
+  EXPECT_FALSE(reopened->Contains(Key(1)));
+  EXPECT_EQ(*reopened->Get(Key(2)), (Bytes{2, 2}));
+  EXPECT_EQ(reopened->size(), 1u);
+}
+
+TEST_F(WalStoreTest, OverwriteKeepsLatestValue) {
+  {
+    auto store = WalStore::Open(path_);
+    store->Put(Key(7), {1});
+    store->Put(Key(7), {2});
+    store->Put(Key(7), {3});
+  }
+  auto reopened = WalStore::Open(path_);
+  EXPECT_EQ(*reopened->Get(Key(7)), (Bytes{3}));
+}
+
+TEST_F(WalStoreTest, TornTailIsIgnored) {
+  {
+    auto store = WalStore::Open(path_);
+    store->Put(Key(1), Bytes(100, 0xaa));
+    store->Put(Key(2), Bytes(100, 0xbb));
+  }
+  // Truncate mid-way through the second record.
+  long size;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    size = std::ftell(f);
+    std::fclose(f);
+  }
+  ASSERT_EQ(truncate(path_.c_str(), size - 30), 0);
+
+  auto reopened = WalStore::Open(path_);
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->recovered_records(), 1u);
+  EXPECT_TRUE(reopened->Contains(Key(1)));
+  EXPECT_FALSE(reopened->Contains(Key(2)));
+  // And the store remains writable after recovery.
+  reopened->Put(Key(3), {3});
+  EXPECT_TRUE(reopened->Contains(Key(3)));
+}
+
+TEST_F(WalStoreTest, CorruptRecordStopsReplay) {
+  {
+    auto store = WalStore::Open(path_);
+    store->Put(Key(1), Bytes(50, 0x11));
+    store->Put(Key(2), Bytes(50, 0x22));
+  }
+  // Flip a byte inside the second record's value.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb+");
+    std::fseek(f, -20, SEEK_END);
+    uint8_t byte = 0;
+    ASSERT_EQ(std::fread(&byte, 1, 1, f), 1u);
+    std::fseek(f, -20, SEEK_END);
+    byte ^= 0xff;
+    std::fwrite(&byte, 1, 1, f);
+    std::fclose(f);
+  }
+  auto reopened = WalStore::Open(path_);
+  EXPECT_EQ(reopened->recovered_records(), 1u);
+  EXPECT_TRUE(reopened->Contains(Key(1)));
+  EXPECT_FALSE(reopened->Contains(Key(2)));
+}
+
+TEST_F(WalStoreTest, LargeValuesRoundTrip) {
+  Bytes big(1 << 20);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<uint8_t>(i * 31);
+  }
+  {
+    auto store = WalStore::Open(path_);
+    store->Put(Key(9), big);
+  }
+  auto reopened = WalStore::Open(path_);
+  EXPECT_EQ(*reopened->Get(Key(9)), big);
+}
+
+TEST(Crc32Test, KnownAnswer) {
+  // The canonical CRC-32 check value: crc32("123456789") = 0xcbf43926.
+  const char* msg = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(msg), 9), 0xcbf43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+}  // namespace
+}  // namespace nt

@@ -1,0 +1,135 @@
+// ntbench — command-line experiment runner, the counterpart of the paper
+// artifact's `fab local/remote` scripts: deploy one configuration of one of
+// the five systems on the simulated WAN and report throughput/latency.
+//
+//   ntbench --system tusk --nodes 10 --rate 100000 --duration 20
+//   ntbench --system narwhal-hs --nodes 4 --workers 7 --dedicated --rate 700000
+//   ntbench --system batched-hs --nodes 10 --faults 3 --rate 70000 --csv
+//
+// Flags:
+//   --system {baseline-hs,batched-hs,narwhal-hs,tusk,dag-rider}   (default tusk)
+//   --nodes N         validators (default 4)
+//   --workers W       workers per validator (default 1)
+//   --dedicated       one machine per worker (default: collocated)
+//   --rate TPS        aggregate input rate (default 10000)
+//   --tx-size BYTES   transaction size (default 512)
+//   --faults F        validators crashed at t=0 (default 0)
+//   --duration SECS   simulated run length (default 20)
+//   --warmup SECS     measurement warm-up (default 5)
+//   --seed S          root seed (default 1)
+//   --runs R          averaged runs with distinct seeds (default 1)
+//   --batch-kb KB     worker batch size (default 500)
+//   --async-from S --async-to S --async-factor X   asynchrony window
+//   --csv             machine-readable one-line output
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+
+using namespace nt;
+
+namespace {
+
+[[noreturn]] void Usage(const char* msg) {
+  std::fprintf(stderr, "ntbench: %s\n(see the header of tools/ntbench.cpp for flags)\n", msg);
+  std::exit(2);
+}
+
+SystemKind ParseSystem(const std::string& name) {
+  if (name == "baseline-hs") {
+    return SystemKind::kBaselineHs;
+  }
+  if (name == "batched-hs") {
+    return SystemKind::kBatchedHs;
+  }
+  if (name == "narwhal-hs") {
+    return SystemKind::kNarwhalHs;
+  }
+  if (name == "tusk") {
+    return SystemKind::kTusk;
+  }
+  if (name == "dag-rider") {
+    return SystemKind::kDagRider;
+  }
+  Usage("unknown --system");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentParams params;
+  params.system = SystemKind::kTusk;
+  params.duration = Seconds(20);
+  params.warmup = Seconds(5);
+  int runs = 1;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        Usage(("missing value for " + flag).c_str());
+      }
+      return argv[++i];
+    };
+    if (flag == "--system") {
+      params.system = ParseSystem(next());
+    } else if (flag == "--nodes") {
+      params.nodes = static_cast<uint32_t>(std::stoul(next()));
+    } else if (flag == "--workers") {
+      params.workers = static_cast<uint32_t>(std::stoul(next()));
+    } else if (flag == "--dedicated") {
+      params.collocate = false;
+    } else if (flag == "--rate") {
+      params.rate_tps = std::stod(next());
+    } else if (flag == "--tx-size") {
+      params.tx_size = std::stoull(next());
+    } else if (flag == "--faults") {
+      params.faults = static_cast<uint32_t>(std::stoul(next()));
+    } else if (flag == "--duration") {
+      params.duration = Seconds(std::stoll(next()));
+    } else if (flag == "--warmup") {
+      params.warmup = Seconds(std::stoll(next()));
+    } else if (flag == "--seed") {
+      params.seed = std::stoull(next());
+    } else if (flag == "--runs") {
+      runs = std::stoi(next());
+    } else if (flag == "--batch-kb") {
+      params.cluster.narwhal.batch_size_bytes = std::stoull(next()) * 1000;
+    } else if (flag == "--async-from") {
+      params.async_start = Seconds(std::stoll(next()));
+    } else if (flag == "--async-to") {
+      params.async_end = Seconds(std::stoll(next()));
+    } else if (flag == "--async-factor") {
+      params.async_factor = std::stod(next());
+    } else if (flag == "--csv") {
+      csv = true;
+    } else if (flag == "--help" || flag == "-h") {
+      Usage("usage");
+    } else {
+      Usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (params.nodes < 1 || params.faults >= params.nodes) {
+    Usage("need nodes >= 1 and faults < nodes");
+  }
+  if (params.warmup >= params.duration) {
+    Usage("warmup must be below duration");
+  }
+
+  AveragedResult result = RunAveraged(params, runs);
+  if (csv) {
+    std::printf("system,nodes,workers,faults,input_tps,tps,tps_stddev,avg_latency_s,"
+                "latency_stddev_s,p99_latency_s\n");
+    std::printf("%s,%u,%u,%u,%.0f,%.0f,%.0f,%.3f,%.3f,%.3f\n", result.first.system.c_str(),
+                result.first.nodes, result.first.workers, result.first.faults,
+                result.first.input_tps, result.tps_mean, result.tps_stddev, result.latency_mean,
+                result.latency_stddev, result.p99_mean);
+  } else {
+    PrintSweepHeader();
+    PrintSweepRow(result);
+  }
+  return 0;
+}
