@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accumulator.dir/bench_accumulator.cpp.o"
+  "CMakeFiles/bench_accumulator.dir/bench_accumulator.cpp.o.d"
+  "bench_accumulator"
+  "bench_accumulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_common_case.dir/bench_fig6_common_case.cpp.o"
+  "CMakeFiles/bench_fig6_common_case.dir/bench_fig6_common_case.cpp.o.d"
+  "bench_fig6_common_case"
+  "bench_fig6_common_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_common_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_scaleout.dir/bench_fig7_scaleout.cpp.o"
+  "CMakeFiles/bench_fig7_scaleout.dir/bench_fig7_scaleout.cpp.o.d"
+  "bench_fig7_scaleout"
+  "bench_fig7_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

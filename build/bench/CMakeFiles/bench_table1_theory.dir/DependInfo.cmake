@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_theory.cpp" "bench/CMakeFiles/bench_table1_theory.dir/bench_table1_theory.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_theory.dir/bench_table1_theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/nt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/tusk/CMakeFiles/nt_tusk.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotstuff/CMakeFiles/nt_hotstuff.dir/DependInfo.cmake"
+  "/root/repo/build/src/narwhal/CMakeFiles/nt_narwhal.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/nt_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/nt_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/nt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_theory.dir/bench_table1_theory.cpp.o"
+  "CMakeFiles/bench_table1_theory.dir/bench_table1_theory.cpp.o.d"
+  "bench_table1_theory"
+  "bench_table1_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asynchrony_demo.dir/asynchrony_demo.cpp.o"
+  "CMakeFiles/asynchrony_demo.dir/asynchrony_demo.cpp.o.d"
+  "asynchrony_demo"
+  "asynchrony_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asynchrony_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

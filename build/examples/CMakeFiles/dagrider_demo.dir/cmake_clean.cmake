@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagrider_demo.dir/dagrider_demo.cpp.o"
+  "CMakeFiles/dagrider_demo.dir/dagrider_demo.cpp.o.d"
+  "dagrider_demo"
+  "dagrider_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagrider_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempool_kv_api.dir/mempool_kv_api.cpp.o"
+  "CMakeFiles/mempool_kv_api.dir/mempool_kv_api.cpp.o.d"
+  "mempool_kv_api"
+  "mempool_kv_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempool_kv_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

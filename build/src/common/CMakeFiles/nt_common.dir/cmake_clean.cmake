@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nt_common.dir/bytes.cpp.o"
+  "CMakeFiles/nt_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/nt_common.dir/logging.cpp.o"
+  "CMakeFiles/nt_common.dir/logging.cpp.o.d"
+  "libnt_common.a"
+  "libnt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nt_crypto.dir/coin.cpp.o"
+  "CMakeFiles/nt_crypto.dir/coin.cpp.o.d"
+  "CMakeFiles/nt_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/nt_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/nt_crypto.dir/hash.cpp.o"
+  "CMakeFiles/nt_crypto.dir/hash.cpp.o.d"
+  "CMakeFiles/nt_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/nt_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/nt_crypto.dir/signer.cpp.o"
+  "CMakeFiles/nt_crypto.dir/signer.cpp.o.d"
+  "libnt_crypto.a"
+  "libnt_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nt_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nt_exec.dir/executor.cpp.o"
+  "CMakeFiles/nt_exec.dir/executor.cpp.o.d"
+  "CMakeFiles/nt_exec.dir/state_machine.cpp.o"
+  "CMakeFiles/nt_exec.dir/state_machine.cpp.o.d"
+  "libnt_exec.a"
+  "libnt_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nt_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nt_hotstuff.dir/hotstuff.cpp.o"
+  "CMakeFiles/nt_hotstuff.dir/hotstuff.cpp.o.d"
+  "CMakeFiles/nt_hotstuff.dir/payload.cpp.o"
+  "CMakeFiles/nt_hotstuff.dir/payload.cpp.o.d"
+  "CMakeFiles/nt_hotstuff.dir/types.cpp.o"
+  "CMakeFiles/nt_hotstuff.dir/types.cpp.o.d"
+  "libnt_hotstuff.a"
+  "libnt_hotstuff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nt_hotstuff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

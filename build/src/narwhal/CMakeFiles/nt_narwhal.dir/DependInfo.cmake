@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/narwhal/archive.cpp" "src/narwhal/CMakeFiles/nt_narwhal.dir/archive.cpp.o" "gcc" "src/narwhal/CMakeFiles/nt_narwhal.dir/archive.cpp.o.d"
+  "/root/repo/src/narwhal/dag.cpp" "src/narwhal/CMakeFiles/nt_narwhal.dir/dag.cpp.o" "gcc" "src/narwhal/CMakeFiles/nt_narwhal.dir/dag.cpp.o.d"
+  "/root/repo/src/narwhal/light_client.cpp" "src/narwhal/CMakeFiles/nt_narwhal.dir/light_client.cpp.o" "gcc" "src/narwhal/CMakeFiles/nt_narwhal.dir/light_client.cpp.o.d"
+  "/root/repo/src/narwhal/mempool.cpp" "src/narwhal/CMakeFiles/nt_narwhal.dir/mempool.cpp.o" "gcc" "src/narwhal/CMakeFiles/nt_narwhal.dir/mempool.cpp.o.d"
+  "/root/repo/src/narwhal/primary.cpp" "src/narwhal/CMakeFiles/nt_narwhal.dir/primary.cpp.o" "gcc" "src/narwhal/CMakeFiles/nt_narwhal.dir/primary.cpp.o.d"
+  "/root/repo/src/narwhal/worker.cpp" "src/narwhal/CMakeFiles/nt_narwhal.dir/worker.cpp.o" "gcc" "src/narwhal/CMakeFiles/nt_narwhal.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/nt_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/nt_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/nt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nt_narwhal.dir/archive.cpp.o"
+  "CMakeFiles/nt_narwhal.dir/archive.cpp.o.d"
+  "CMakeFiles/nt_narwhal.dir/dag.cpp.o"
+  "CMakeFiles/nt_narwhal.dir/dag.cpp.o.d"
+  "CMakeFiles/nt_narwhal.dir/light_client.cpp.o"
+  "CMakeFiles/nt_narwhal.dir/light_client.cpp.o.d"
+  "CMakeFiles/nt_narwhal.dir/mempool.cpp.o"
+  "CMakeFiles/nt_narwhal.dir/mempool.cpp.o.d"
+  "CMakeFiles/nt_narwhal.dir/primary.cpp.o"
+  "CMakeFiles/nt_narwhal.dir/primary.cpp.o.d"
+  "CMakeFiles/nt_narwhal.dir/worker.cpp.o"
+  "CMakeFiles/nt_narwhal.dir/worker.cpp.o.d"
+  "libnt_narwhal.a"
+  "libnt_narwhal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nt_narwhal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nt_net.dir/faults.cpp.o"
+  "CMakeFiles/nt_net.dir/faults.cpp.o.d"
+  "CMakeFiles/nt_net.dir/latency.cpp.o"
+  "CMakeFiles/nt_net.dir/latency.cpp.o.d"
+  "CMakeFiles/nt_net.dir/network.cpp.o"
+  "CMakeFiles/nt_net.dir/network.cpp.o.d"
+  "libnt_net.a"
+  "libnt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

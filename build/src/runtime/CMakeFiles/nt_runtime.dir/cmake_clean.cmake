@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nt_runtime.dir/client.cpp.o"
+  "CMakeFiles/nt_runtime.dir/client.cpp.o.d"
+  "CMakeFiles/nt_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/nt_runtime.dir/cluster.cpp.o.d"
+  "CMakeFiles/nt_runtime.dir/experiment.cpp.o"
+  "CMakeFiles/nt_runtime.dir/experiment.cpp.o.d"
+  "CMakeFiles/nt_runtime.dir/metrics.cpp.o"
+  "CMakeFiles/nt_runtime.dir/metrics.cpp.o.d"
+  "libnt_runtime.a"
+  "libnt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnt_runtime.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nt_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/nt_sim.dir/scheduler.cpp.o.d"
+  "libnt_sim.a"
+  "libnt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nt_store.dir/store.cpp.o"
+  "CMakeFiles/nt_store.dir/store.cpp.o.d"
+  "libnt_store.a"
+  "libnt_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nt_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nt_tusk.dir/dag_rider.cpp.o"
+  "CMakeFiles/nt_tusk.dir/dag_rider.cpp.o.d"
+  "CMakeFiles/nt_tusk.dir/tusk.cpp.o"
+  "CMakeFiles/nt_tusk.dir/tusk.cpp.o.d"
+  "libnt_tusk.a"
+  "libnt_tusk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nt_tusk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

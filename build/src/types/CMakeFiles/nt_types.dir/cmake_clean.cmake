@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nt_types.dir/types.cpp.o"
+  "CMakeFiles/nt_types.dir/types.cpp.o.d"
+  "libnt_types.a"
+  "libnt_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nt_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

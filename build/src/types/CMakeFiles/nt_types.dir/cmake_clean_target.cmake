@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnt_types.a"
+)

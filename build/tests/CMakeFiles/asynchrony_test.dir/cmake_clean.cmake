@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asynchrony_test.dir/asynchrony_test.cpp.o"
+  "CMakeFiles/asynchrony_test.dir/asynchrony_test.cpp.o.d"
+  "asynchrony_test"
+  "asynchrony_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asynchrony_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coin_test.dir/coin_test.cpp.o"
+  "CMakeFiles/coin_test.dir/coin_test.cpp.o.d"
+  "coin_test"
+  "coin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_rider_test.dir/dag_rider_test.cpp.o"
+  "CMakeFiles/dag_rider_test.dir/dag_rider_test.cpp.o.d"
+  "dag_rider_test"
+  "dag_rider_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_rider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotstuff_props_test.dir/hotstuff_props_test.cpp.o"
+  "CMakeFiles/hotstuff_props_test.dir/hotstuff_props_test.cpp.o.d"
+  "hotstuff_props_test"
+  "hotstuff_props_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotstuff_props_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotstuff_test.dir/hotstuff_test.cpp.o"
+  "CMakeFiles/hotstuff_test.dir/hotstuff_test.cpp.o.d"
+  "hotstuff_test"
+  "hotstuff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotstuff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

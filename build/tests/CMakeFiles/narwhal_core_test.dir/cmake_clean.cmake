@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narwhal_core_test.dir/narwhal_core_test.cpp.o"
+  "CMakeFiles/narwhal_core_test.dir/narwhal_core_test.cpp.o.d"
+  "narwhal_core_test"
+  "narwhal_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narwhal_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

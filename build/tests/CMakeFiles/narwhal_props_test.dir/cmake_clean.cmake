@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narwhal_props_test.dir/narwhal_props_test.cpp.o"
+  "CMakeFiles/narwhal_props_test.dir/narwhal_props_test.cpp.o.d"
+  "narwhal_props_test"
+  "narwhal_props_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narwhal_props_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

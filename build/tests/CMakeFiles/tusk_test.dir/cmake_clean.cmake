@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tusk_test.dir/tusk_test.cpp.o"
+  "CMakeFiles/tusk_test.dir/tusk_test.cpp.o.d"
+  "tusk_test"
+  "tusk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tusk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

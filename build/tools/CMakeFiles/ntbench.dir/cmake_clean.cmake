@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntbench.dir/ntbench.cpp.o"
+  "CMakeFiles/ntbench.dir/ntbench.cpp.o.d"
+  "ntbench"
+  "ntbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
