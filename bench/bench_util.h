@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -48,16 +49,49 @@ inline void PrintBanner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+// Minimal machine-readable output for benchmark binaries: a flat JSON object
+// of numeric fields, written as BENCH_<name>.json in the working directory so
+// sweeps can be diffed across commits without scraping stdout.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void Set(const std::string& key, double value) { fields_.emplace_back(key, value); }
+
+  // Returns the path written, or an empty string on failure.
+  std::string Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return "";
+    }
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.6g%s\n", fields_[i].first.c_str(), fields_[i].second,
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> fields_;
+};
+
 inline void PrintSweepHeader() {
-  std::printf("%-12s %6s %8s %7s %10s | %10s %8s | %9s %8s %9s\n", "system", "nodes", "workers",
-              "faults", "input_tps", "tps", "tps_sd", "avg_lat_s", "lat_sd", "p99_lat_s");
+  std::printf("%-12s %6s %8s %7s %10s | %10s %8s | %9s %8s %9s | %10s %10s\n", "system", "nodes",
+              "workers", "faults", "input_tps", "tps", "tps_sd", "avg_lat_s", "lat_sd", "p99_lat_s",
+              "cert_hits", "cert_miss");
 }
 
 inline void PrintSweepRow(const AveragedResult& r) {
-  std::printf("%-12s %6u %8u %7u %10.0f | %10.0f %8.0f | %9.2f %8.2f %9.2f\n",
+  std::printf("%-12s %6u %8u %7u %10.0f | %10.0f %8.0f | %9.2f %8.2f %9.2f | %10llu %10llu\n",
               r.first.system.c_str(), r.first.nodes, r.first.workers, r.first.faults,
               r.first.input_tps, r.tps_mean, r.tps_stddev, r.latency_mean, r.latency_stddev,
-              r.p99_mean);
+              r.p99_mean, static_cast<unsigned long long>(r.first.cert_cache_hits),
+              static_cast<unsigned long long>(r.first.cert_cache_misses));
   std::fflush(stdout);
 }
 

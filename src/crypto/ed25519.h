@@ -1,9 +1,18 @@
 // Ed25519 signatures (RFC 8032), implemented from scratch:
 //  - field arithmetic over GF(2^255 - 19) with 5x51-bit limbs,
-//  - twisted-Edwards group operations in extended coordinates using the
-//    complete unified addition law (valid for doubling too),
-//  - scalar arithmetic modulo the group order L via exact binary reduction,
-//  - key generation, signing, and strict verification (rejects S >= L).
+//  - twisted-Edwards group operations in extended coordinates: the complete
+//    unified addition law plus dedicated doubling (4S+4M) and cached-operand
+//    addition/subtraction formulas for table-driven scalar multiplication,
+//  - scalar arithmetic modulo the group order L (word-folding reduction via
+//    2^252 == -delta mod L),
+//  - key generation, signing, and strict verification (rejects S >= L),
+//  - a precomputed radix-16 window table for the base point (fixed-base
+//    scalar multiplication in ~64 additions, no doublings),
+//  - batch verification of the RFC 8032 batch equation
+//        [sum z_i s_i] B - sum [z_i k_i] A_i - sum [z_i] R_i == identity
+//    with 128-bit random coefficients z_i, evaluated by an interleaved
+//    Straus multi-scalar multiplication that shares one doubling chain
+//    across every point in the batch; failures bisect to identify culprits.
 //
 // Curve constants (d = -121665/121666, sqrt(-1), the base point from
 // y = 4/5) are derived at startup with field operations instead of being
@@ -14,6 +23,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "src/common/bytes.h"
 
@@ -39,6 +49,28 @@ bool Ed25519Verify(const Ed25519PublicKey& pk, const uint8_t* msg, size_t len,
 inline bool Ed25519Verify(const Ed25519PublicKey& pk, const Bytes& msg,
                           const Ed25519Signature& sig) {
   return Ed25519Verify(pk, msg.data(), msg.size(), sig);
+}
+
+// --- Batch verification ----------------------------------------------------
+
+// One signature to check in a batch. `msg` is borrowed: it must stay alive
+// until the Ed25519BatchVerify call returns.
+struct Ed25519BatchItem {
+  Ed25519PublicKey pk{};
+  const uint8_t* msg = nullptr;
+  size_t len = 0;
+  Ed25519Signature sig{};
+};
+
+// Verifies `n` signatures together and returns one validity bit per item
+// (empty input -> empty output). Strictness matches Ed25519Verify exactly:
+// S >= L and non-decodable A/R are rejected per item before the batch
+// equation runs. A batch whose combined equation fails is bisected, so the
+// result identifies precisely which items are bad while still paying the
+// batched cost for the valid majority.
+std::vector<bool> Ed25519BatchVerify(const Ed25519BatchItem* items, size_t n);
+inline std::vector<bool> Ed25519BatchVerify(const std::vector<Ed25519BatchItem>& items) {
+  return Ed25519BatchVerify(items.data(), items.size());
 }
 
 // --- Introspection hooks used by tests -------------------------------------

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/types/cert_cache.h"
 
 namespace nt {
 namespace {
@@ -324,6 +325,15 @@ void HotStuff::CommitUpTo(const Digest& digest) {
     provider_->OnCommit(b->payload, b->author);
     if (on_commit_) {
       on_commit_(*b, b->view);
+    }
+  }
+  // Commits are final: QCs/TCs for views below the oldest block just
+  // committed will not be presented for verification again (catch-up blocks
+  // are digest-bound, not re-verified), so release their cache entries.
+  if (!chain.empty()) {
+    const HsBlock* oldest = GetBlock(chain.front());
+    if (oldest != nullptr && oldest->view > 0) {
+      VerifiedCertCache::HotStuff().OnGcRound(oldest->view);
     }
   }
 }

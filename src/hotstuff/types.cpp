@@ -2,7 +2,57 @@
 
 #include <set>
 
+#include "src/types/cert_cache.h"
+
 namespace nt {
+namespace {
+
+// Shared verification core for the two HotStuff certificate kinds: quorum +
+// distinct-voter structure, then a cache probe, then one batched flush of
+// the vote signatures over a common preimage. `domain` separates QC and TC
+// cache keys; `view` is the GC dimension.
+bool VerifyVoteSet(std::string_view domain, const Bytes& preimage, View view,
+                   const std::vector<std::pair<ValidatorId, Signature>>& votes,
+                   const Committee& committee, const Signer& verifier) {
+  if (votes.size() < committee.quorum_threshold()) {
+    return false;
+  }
+  std::set<ValidatorId> seen;
+  for (const auto& [voter, sig] : votes) {
+    (void)sig;
+    if (!committee.Contains(voter) || !seen.insert(voter).second) {
+      return false;
+    }
+  }
+  Sha256 key_hash;
+  key_hash.Update(domain);
+  key_hash.Update(committee.fingerprint().data(), committee.fingerprint().size());
+  key_hash.Update(preimage);
+  for (const auto& [voter, sig] : votes) {
+    uint8_t voter_bytes[4];
+    for (int b = 0; b < 4; ++b) {
+      voter_bytes[b] = static_cast<uint8_t>(voter >> (8 * b));
+    }
+    key_hash.Update(voter_bytes, 4);
+    key_hash.Update(sig.data(), sig.size());
+  }
+  Digest key = key_hash.Finalize();
+  VerifiedCertCache& cache = VerifiedCertCache::HotStuff();
+  if (cache.Lookup(key)) {
+    return true;
+  }
+  BatchVerifier batch(verifier);
+  for (const auto& [voter, sig] : votes) {
+    batch.Queue(committee.key_of(voter), preimage, sig);
+  }
+  if (!batch.FlushAllValid()) {
+    return false;
+  }
+  cache.Insert(key, view);
+  return true;
+}
+
+}  // namespace
 
 // ----------------------------------------------------------------- HsPayload
 
@@ -58,20 +108,8 @@ bool QuorumCert::Verify(const Committee& committee, const Signer& verifier) cons
   if (IsGenesis()) {
     return true;
   }
-  if (votes.size() < committee.quorum_threshold()) {
-    return false;
-  }
-  std::set<ValidatorId> seen;
-  Bytes preimage = VotePreimage(block_digest, view);
-  for (const auto& [voter, sig] : votes) {
-    if (!committee.Contains(voter) || !seen.insert(voter).second) {
-      return false;
-    }
-    if (!verifier.Verify(committee.key_of(voter), preimage, sig)) {
-      return false;
-    }
-  }
-  return true;
+  return VerifyVoteSet("nt-qc-cache", VotePreimage(block_digest, view), view, votes, committee,
+                       verifier);
 }
 
 // --------------------------------------------------------------- TimeoutCert
@@ -84,20 +122,7 @@ Bytes TimeoutCert::VotePreimage(View view) {
 }
 
 bool TimeoutCert::Verify(const Committee& committee, const Signer& verifier) const {
-  if (votes.size() < committee.quorum_threshold()) {
-    return false;
-  }
-  std::set<ValidatorId> seen;
-  Bytes preimage = VotePreimage(view);
-  for (const auto& [voter, sig] : votes) {
-    if (!committee.Contains(voter) || !seen.insert(voter).second) {
-      return false;
-    }
-    if (!verifier.Verify(committee.key_of(voter), preimage, sig)) {
-      return false;
-    }
-  }
-  return true;
+  return VerifyVoteSet("nt-tc-cache", VotePreimage(view), view, votes, committee, verifier);
 }
 
 // ------------------------------------------------------------------- HsBlock

@@ -49,17 +49,20 @@ std::optional<Bytes> LightClient::VerifyInclusion(const InclusionProof& proof) c
   if (proof.header == nullptr || proof.batch == nullptr) {
     return reject();
   }
-  // 1. Certificate of availability: 2f+1 distinct valid committee votes.
-  if (!proof.certificate.Verify(committee_, *verifier_)) {
-    return reject();
-  }
-  // 2. Header binds to the certificate (content hash + author signature +
-  //    consistent round/author metadata).
+  // 1+2a. Structural binding of header to certificate (content hash +
+  //       consistent round/author metadata) before any signature work.
   Digest header_digest = proof.header->ComputeDigest();
   if (header_digest != proof.certificate.header_digest ||
       proof.header->round != proof.certificate.round ||
       proof.header->author != proof.certificate.author ||
-      !committee_.Contains(proof.header->author) ||
+      !committee_.Contains(proof.header->author)) {
+    return reject();
+  }
+  // 2b. Certificate of availability: 2f+1 distinct valid committee votes,
+  //     verified as one batch (single multi-scalar multiplication for
+  //     Ed25519) and memoized in the verified-certificate cache — then the
+  //     header author's signature.
+  if (!proof.certificate.Verify(committee_, *verifier_) ||
       !verifier_->Verify(committee_.key_of(proof.header->author), header_digest,
                          proof.header->author_sig)) {
     return reject();

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/narwhal/archive.h"
+#include "src/types/cert_cache.h"
 
 namespace nt {
 
@@ -183,6 +184,14 @@ void Primary::HandleHeader(uint32_t from, const MsgHeader& msg) {
       parent_authors.insert(parent.author);
     }
     if (parent_authors.size() < committee_.quorum_threshold()) {
+      return;
+    }
+    // Verify the whole parent set with one batched flush (every uncached
+    // parent's votes share a single multi-scalar multiplication); the
+    // per-parent AcceptCertificate calls below then hit the verified-
+    // certificate cache.
+    if (!Certificate::VerifyAll(header.parents, committee_, *signer_)) {
+      LOG_WARN() << "header with invalid parent certificate from validator " << header.author;
       return;
     }
     for (const Certificate& parent : header.parents) {
@@ -380,6 +389,9 @@ void Primary::StoreHeader(std::shared_ptr<const BlockHeader> header, const Diges
 // ----------------------------------------------------------------- GC & commit
 
 void Primary::SetGcRound(Round gc_round) {
+  // Certificates below the horizon can no longer be presented for
+  // verification; release their verified-cache entries.
+  VerifiedCertCache::Narwhal().OnGcRound(gc_round);
   // Re-inject own batches whose headers fell below the horizon uncommitted
   // (paper §3.3: transaction-level fairness), and offload evicted rounds to
   // the cold archive if one is attached (§3.3: CDN offload).

@@ -6,6 +6,7 @@
 #ifndef SRC_NARWHAL_WORKER_H_
 #define SRC_NARWHAL_WORKER_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>

@@ -65,18 +65,23 @@ ExperimentResult RunExperiment(const ExperimentParams& params) {
   result.p99_latency_s = lat.Percentile(99);
   result.committed_txs = cluster.metrics().committed_txs();
   result.sampled_txs = lat.count();
+  result.cert_cache_hits = cluster.metrics().cert_cache_hits();
+  result.cert_cache_misses = cluster.metrics().cert_cache_misses();
   return result;
 }
 
 void PrintResultHeader() {
-  std::printf("%-12s %6s %7s %7s %10s %10s %9s %9s %9s %11s\n", "system", "nodes", "workers",
-              "faults", "input_tps", "tps", "avg_lat_s", "p50_lat_s", "p99_lat_s", "committed");
+  std::printf("%-12s %6s %7s %7s %10s %10s %9s %9s %9s %11s %10s %10s\n", "system", "nodes",
+              "workers", "faults", "input_tps", "tps", "avg_lat_s", "p50_lat_s", "p99_lat_s",
+              "committed", "cert_hits", "cert_miss");
 }
 
 void PrintResultRow(const ExperimentResult& r) {
-  std::printf("%-12s %6u %7u %7u %10.0f %10.0f %9.2f %9.2f %9.2f %11llu\n", r.system.c_str(),
-              r.nodes, r.workers, r.faults, r.input_tps, r.tps, r.avg_latency_s, r.p50_latency_s,
-              r.p99_latency_s, static_cast<unsigned long long>(r.committed_txs));
+  std::printf("%-12s %6u %7u %7u %10.0f %10.0f %9.2f %9.2f %9.2f %11llu %10llu %10llu\n",
+              r.system.c_str(), r.nodes, r.workers, r.faults, r.input_tps, r.tps, r.avg_latency_s,
+              r.p50_latency_s, r.p99_latency_s, static_cast<unsigned long long>(r.committed_txs),
+              static_cast<unsigned long long>(r.cert_cache_hits),
+              static_cast<unsigned long long>(r.cert_cache_misses));
   std::fflush(stdout);
 }
 

@@ -56,6 +56,11 @@ struct ExperimentResult {
   double p99_latency_s = 0;
   uint64_t committed_txs = 0;
   uint64_t sampled_txs = 0;
+
+  // Verified-certificate cache activity during the run (deltas over the
+  // run's Metrics baseline; see Metrics::cert_cache_hits).
+  uint64_t cert_cache_hits = 0;
+  uint64_t cert_cache_misses = 0;
 };
 
 ExperimentResult RunExperiment(const ExperimentParams& params);

@@ -12,13 +12,15 @@
 #include "src/common/stats.h"
 #include "src/common/time.h"
 #include "src/sim/scheduler.h"
+#include "src/types/cert_cache.h"
 #include "src/types/types.h"
 
 namespace nt {
 
 class Metrics {
  public:
-  explicit Metrics(Scheduler* scheduler) : scheduler_(scheduler) {}
+  explicit Metrics(Scheduler* scheduler)
+      : scheduler_(scheduler), cert_cache_baseline_(VerifiedCertCache::Combined()) {}
 
   // Throughput counts commits observed at this validator only (each block is
   // committed by every honest validator; count it once).
@@ -52,8 +54,23 @@ class Metrics {
     return window > 0 ? static_cast<double>(committed_txs_) / window : 0.0;
   }
 
+  // Verified-certificate cache activity attributed to this run: deltas of
+  // the process-local cache counters since this Metrics instance was created
+  // (the caches outlive individual experiments).
+  uint64_t cert_cache_hits() const {
+    return VerifiedCertCache::Combined().hits - cert_cache_baseline_.hits;
+  }
+  uint64_t cert_cache_misses() const {
+    return VerifiedCertCache::Combined().misses - cert_cache_baseline_.misses;
+  }
+  double CertCacheHitRate() const {
+    uint64_t total = cert_cache_hits() + cert_cache_misses();
+    return total == 0 ? 0.0 : static_cast<double>(cert_cache_hits()) / static_cast<double>(total);
+  }
+
  private:
   Scheduler* scheduler_;
+  VerifiedCertCache::Stats cert_cache_baseline_;
   ValidatorId observer_ = 0;
   TimePoint window_start_ = 0;
   TimePoint window_end_ = kNever;

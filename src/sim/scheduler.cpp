@@ -4,6 +4,12 @@
 
 namespace nt {
 
+namespace {
+// Compact the heap once it holds this many events and the majority are
+// tombstones; below this, tombstones are cheaper to skip on pop.
+constexpr size_t kCompactThreshold = 64;
+}  // namespace
+
 Scheduler::TimerId Scheduler::ScheduleAt(TimePoint t, Callback cb) {
   Event ev;
   ev.time = std::max(t, now_);
@@ -11,36 +17,53 @@ Scheduler::TimerId Scheduler::ScheduleAt(TimePoint t, Callback cb) {
   ev.id = ev.seq;  // seq doubles as the id; both are unique and monotone.
   ev.cb = std::move(cb);
   TimerId id = ev.id;
-  queue_.push(std::move(ev));
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  live_.insert(id);
   return id;
 }
 
 void Scheduler::Cancel(TimerId id) {
-  if (id != kInvalidTimer && id < next_seq_) {
-    cancelled_.insert(id);
+  if (live_.erase(id) == 0) {
+    return;  // Already fired, already cancelled, or never scheduled.
+  }
+  // The heap entry becomes a tombstone, skipped when it reaches the top. If
+  // tombstones outnumber live events in a large heap, compact in place.
+  if (heap_.size() >= kCompactThreshold && live_.size() * 2 < heap_.size()) {
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const Event& ev) { return live_.count(ev.id) == 0; }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+}
+
+void Scheduler::PruneCancelledTop() {
+  while (!heap_.empty() && live_.count(heap_.front().id) == 0) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
   }
 }
 
 bool Scheduler::RunOne() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the callback is moved out via const_cast,
-    // which is safe because the element is popped immediately after.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    auto cancelled = cancelled_.find(ev.id);
-    if (cancelled != cancelled_.end()) {
-      cancelled_.erase(cancelled);
-      continue;
-    }
-    now_ = ev.time;
-    ev.cb();
-    return true;
+  PruneCancelledTop();
+  if (heap_.empty()) {
+    return false;
   }
-  return false;
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  live_.erase(ev.id);
+  now_ = ev.time;
+  ev.cb();
+  return true;
 }
 
 void Scheduler::RunUntil(TimePoint t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
+  for (;;) {
+    PruneCancelledTop();
+    if (heap_.empty() || heap_.front().time > t) {
+      break;
+    }
     RunOne();
   }
   now_ = std::max(now_, t);

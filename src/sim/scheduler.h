@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -37,7 +36,8 @@ class Scheduler {
   // Schedules `cb` after `delay` from now.
   TimerId ScheduleAfter(TimeDelta delay, Callback cb) { return ScheduleAt(now_ + delay, std::move(cb)); }
 
-  // Cancels a pending event. Safe to call with an already-fired or invalid id.
+  // Cancels a pending event. A no-op for already-fired, already-cancelled,
+  // or invalid ids — no bookkeeping is retained for them.
   void Cancel(TimerId id);
 
   // Pops and runs the next event, advancing the clock to it. Returns false if
@@ -50,9 +50,8 @@ class Scheduler {
   // Runs until no events remain.
   void RunUntilIdle();
 
-  // Upper bound: includes events cancelled while still queued (a Cancel of
-  // an already-fired id is a no-op and is not counted).
-  size_t pending_events() const { return queue_.size(); }
+  // Exact number of live (scheduled, not yet fired, not cancelled) events.
+  size_t pending_events() const { return live_.size(); }
 
  private:
   struct Event {
@@ -70,10 +69,20 @@ class Scheduler {
     Callback cb;
   };
 
+  // Drops cancelled events sitting at the top of the heap so heap_.front()
+  // (when non-empty) is always the next live event.
+  void PruneCancelledTop();
+
   TimePoint now_ = 0;
   uint64_t next_seq_ = 1;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<TimerId> cancelled_;
+  // Min-heap over Event::operator> (std::push_heap/std::pop_heap with
+  // std::greater), kept as an explicit vector so cancellation can compact it
+  // in place when tombstones pile up.
+  std::vector<Event> heap_;
+  // Ids of queued, not-yet-fired, not-cancelled events. Cancel() erases from
+  // here (heap entries whose id is absent are tombstones, skipped on pop), so
+  // cancelling never accumulates state for ids that already fired.
+  std::unordered_set<TimerId> live_;
 };
 
 }  // namespace nt

@@ -1,0 +1,102 @@
+#include "src/types/cert_cache.h"
+
+namespace nt {
+
+VerifiedCertCache::VerifiedCertCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool VerifiedCertCache::Lookup(const Digest& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return true;
+}
+
+void VerifiedCertCache::Insert(const Digest& key, uint64_t round) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (round < gc_round_) {
+    return;  // Below the horizon: would be evicted immediately.
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->round = round;
+    return;
+  }
+  lru_.push_front(Entry{key, round});
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.lru_evictions;
+  }
+}
+
+void VerifiedCertCache::OnGcRound(uint64_t gc_round) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gc_round <= gc_round_) {
+    return;
+  }
+  gc_round_ = gc_round;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->round < gc_round_) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.gc_evictions;
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t VerifiedCertCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+VerifiedCertCache::Stats VerifiedCertCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void VerifiedCertCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats{};
+}
+
+void VerifiedCertCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_ = Stats{};
+  gc_round_ = 0;
+}
+
+VerifiedCertCache& VerifiedCertCache::Narwhal() {
+  static VerifiedCertCache cache;
+  return cache;
+}
+
+VerifiedCertCache& VerifiedCertCache::HotStuff() {
+  static VerifiedCertCache cache;
+  return cache;
+}
+
+VerifiedCertCache::Stats VerifiedCertCache::Combined() {
+  Stats a = Narwhal().stats();
+  Stats b = HotStuff().stats();
+  Stats out;
+  out.hits = a.hits + b.hits;
+  out.misses = a.misses + b.misses;
+  out.insertions = a.insertions + b.insertions;
+  out.lru_evictions = a.lru_evictions + b.lru_evictions;
+  out.gc_evictions = a.gc_evictions + b.gc_evictions;
+  return out;
+}
+
+}  // namespace nt

@@ -52,8 +52,28 @@ class Committee {
 
   bool Contains(ValidatorId id) const { return id < size(); }
 
+  // Stable digest of the membership (all public keys, in id order). Part of
+  // the verified-certificate cache key, so a cached verification can never
+  // leak between committees that happen to share certificate bytes.
+  const Digest& fingerprint() const {
+    if (!fingerprint_computed_) {
+      Sha256 h;
+      h.Update("nt-committee");
+      for (const ValidatorInfo& v : validators_) {
+        h.Update(v.key.data(), v.key.size());
+      }
+      fingerprint_ = h.Finalize();
+      fingerprint_computed_ = true;
+    }
+    return fingerprint_;
+  }
+
  private:
   std::vector<ValidatorInfo> validators_;
+  // Lazily computed (the simulation is single-threaded; worst case under
+  // racing readers is recomputing the same value).
+  mutable Digest fingerprint_{};
+  mutable bool fingerprint_computed_ = false;
 };
 
 }  // namespace nt

@@ -3,12 +3,40 @@
 #include <algorithm>
 #include <set>
 
+#include "src/types/cert_cache.h"
+
 namespace nt {
 namespace {
 
 // Fixed wire-size contributions (bytes). Signatures are 64, digests 32.
 constexpr size_t kSigSize = 64;
 constexpr size_t kDigestSize = 32;
+
+// Cache key: committee fingerprint + the full certificate encoding (vote set
+// included), so distinct vote assemblies for the same header are distinct
+// entries.
+Digest CertCacheKey(const Committee& committee, const Certificate& cert) {
+  Writer w;
+  w.PutString("nt-cert-cache");
+  w.PutRaw(committee.fingerprint());
+  cert.Encode(w);
+  return Sha256::Hash(w.bytes());
+}
+
+// Quorum size, distinct known voters — everything except signatures.
+bool CertStructureOk(const Committee& committee, const Certificate& cert) {
+  if (cert.votes.size() < committee.quorum_threshold()) {
+    return false;
+  }
+  std::set<ValidatorId> seen;
+  for (const auto& [voter, sig] : cert.votes) {
+    (void)sig;
+    if (!committee.Contains(voter) || !seen.insert(voter).second) {
+      return false;  // Unknown or duplicate voter.
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -130,20 +158,73 @@ std::optional<Certificate> Certificate::Decode(Reader& r) {
 }
 
 bool Certificate::Verify(const Committee& committee, const Signer& verifier) const {
-  if (votes.size() < committee.quorum_threshold()) {
+  if (!CertStructureOk(committee, *this)) {
     return false;
   }
-  std::set<ValidatorId> seen;
+  VerifiedCertCache& cache = VerifiedCertCache::Narwhal();
+  Digest key = CertCacheKey(committee, *this);
+  if (cache.Lookup(key)) {
+    return true;
+  }
+  BatchVerifier batch(verifier);
   Bytes preimage = VotePreimage(header_digest, round, author);
   for (const auto& [voter, sig] : votes) {
-    if (!committee.Contains(voter) || !seen.insert(voter).second) {
-      return false;  // Unknown or duplicate voter.
+    batch.Queue(committee.key_of(voter), preimage, sig);
+  }
+  if (!batch.FlushAllValid()) {
+    return false;
+  }
+  cache.Insert(key, round);
+  return true;
+}
+
+bool Certificate::VerifyAll(const std::vector<Certificate>& certs, const Committee& committee,
+                            const Signer& verifier) {
+  VerifiedCertCache& cache = VerifiedCertCache::Narwhal();
+  bool all_valid = true;
+  // One flush covers the uncached certificates' votes; vote counts per
+  // certificate let the results map back so each certificate gets an
+  // independent verdict (and cache entry).
+  BatchVerifier batch(verifier);
+  struct PendingCert {
+    const Certificate* cert;
+    Digest key;
+    size_t first_vote;
+    size_t num_votes;
+  };
+  std::vector<PendingCert> pending;
+  for (const Certificate& cert : certs) {
+    if (!CertStructureOk(committee, cert)) {
+      all_valid = false;
+      continue;
     }
-    if (!verifier.Verify(committee.key_of(voter), preimage, sig)) {
-      return false;
+    Digest key = CertCacheKey(committee, cert);
+    if (cache.Lookup(key)) {
+      continue;
+    }
+    PendingCert p{&cert, key, batch.pending(), cert.votes.size()};
+    Bytes preimage = VotePreimage(cert.header_digest, cert.round, cert.author);
+    for (const auto& [voter, sig] : cert.votes) {
+      batch.Queue(committee.key_of(voter), preimage, sig);
+    }
+    pending.push_back(p);
+  }
+  std::vector<bool> ok = batch.Flush();
+  for (const PendingCert& p : pending) {
+    bool cert_ok = true;
+    for (size_t i = 0; i < p.num_votes; ++i) {
+      if (!ok[p.first_vote + i]) {
+        cert_ok = false;
+        break;
+      }
+    }
+    if (cert_ok) {
+      cache.Insert(p.key, p.cert->round);
+    } else {
+      all_valid = false;
     }
   }
-  return true;
+  return all_valid;
 }
 
 size_t Certificate::WireSize() const {

@@ -85,8 +85,20 @@ struct Certificate {
   static std::optional<Certificate> Decode(Reader& r);
 
   // Structural + cryptographic validity: >= 2f+1 distinct known voters whose
-  // signatures verify. `verifier` supplies the scheme.
+  // signatures verify. `verifier` supplies the scheme. Signatures are checked
+  // through the signer's batch kernel, and a positive result is memoized in
+  // the process-local verified-certificate cache, so re-deliveries of the
+  // same certificate (broadcast, header parent, consensus payload) verify
+  // once.
   bool Verify(const Committee& committee, const Signer& verifier) const;
+
+  // Verifies many certificates with a single batched flush across all their
+  // uncached vote signatures — the bulk entry point for header-parent sets
+  // and certificate payloads. Returns true iff every certificate is valid;
+  // each valid certificate lands in the cache (so per-certificate Verify
+  // calls that follow are hits) even when some other certificate fails.
+  static bool VerifyAll(const std::vector<Certificate>& certs, const Committee& committee,
+                        const Signer& verifier);
 
   size_t WireSize() const;
 };

@@ -102,9 +102,88 @@ TEST(SchedulerTest, PendingEventsCount) {
   auto a = sched.ScheduleAt(Millis(1), [] {});
   sched.ScheduleAt(Millis(2), [] {});
   EXPECT_EQ(sched.pending_events(), 2u);
-  sched.Cancel(a);  // Still queued (lazy cancellation): upper bound holds.
-  EXPECT_EQ(sched.pending_events(), 2u);
+  sched.Cancel(a);  // Cancelled events are no longer pending.
+  EXPECT_EQ(sched.pending_events(), 1u);
   sched.RunUntilIdle();
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+TEST(SchedulerTest, CancelIsIdempotentAndCountsOnce) {
+  Scheduler sched;
+  bool fired = false;
+  auto a = sched.ScheduleAt(Millis(1), [&] { fired = true; });
+  sched.ScheduleAt(Millis(2), [] {});
+  sched.Cancel(a);
+  sched.Cancel(a);  // Second cancel of the same id is a no-op.
+  sched.Cancel(Scheduler::kInvalidTimer);
+  sched.Cancel(12345);  // Never-issued id.
+  EXPECT_EQ(sched.pending_events(), 1u);
+  sched.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SchedulerTest, CancelledEventDoesNotBlockRunUntilBoundary) {
+  // A cancelled event ahead of the boundary must not cause RunUntil to run
+  // events *beyond* the boundary when skipping it.
+  Scheduler sched;
+  int count = 0;
+  auto early = sched.ScheduleAt(Millis(5), [&] { ++count; });
+  sched.ScheduleAt(Millis(50), [&] { ++count; });
+  sched.Cancel(early);
+  sched.RunUntil(Millis(10));
+  EXPECT_EQ(count, 0);  // The 50ms event stays queued.
+  EXPECT_EQ(sched.pending_events(), 1u);
+  sched.RunUntilIdle();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SchedulerTest, HeavyCancellationDoesNotAccumulateState) {
+  // Regression: cancelling already-fired ids used to leave a tombstone per
+  // call forever, and cancelled-but-queued events inflated pending_events().
+  // Churn through many schedule/fire/cancel cycles and check the counts stay
+  // exact throughout.
+  Scheduler sched;
+  int fired = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<Scheduler::TimerId> ids;
+    for (int i = 0; i < 10; ++i) {
+      ids.push_back(sched.ScheduleAfter(Millis(1 + i), [&] { ++fired; }));
+    }
+    // Cancel half while queued, then fire the rest.
+    for (int i = 0; i < 5; ++i) {
+      sched.Cancel(ids[i]);
+    }
+    EXPECT_EQ(sched.pending_events(), 5u);
+    sched.RunUntilIdle();
+    EXPECT_EQ(sched.pending_events(), 0u);
+    // Cancel everything again after firing: all no-ops.
+    for (auto id : ids) {
+      sched.Cancel(id);
+    }
+    EXPECT_EQ(sched.pending_events(), 0u);
+  }
+  EXPECT_EQ(fired, 200 * 5);
+}
+
+TEST(SchedulerTest, CompactionPreservesOrderUnderMassCancel) {
+  // Cancel most of a large heap (tripping in-place compaction) and verify
+  // the survivors still run in time order.
+  Scheduler sched;
+  std::vector<int> order;
+  std::vector<Scheduler::TimerId> ids;
+  for (int i = 0; i < 500; ++i) {
+    ids.push_back(sched.ScheduleAt(Millis(500 - i), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 500; ++i) {
+    if (i % 100 != 0) {
+      sched.Cancel(ids[i]);
+    }
+  }
+  EXPECT_EQ(sched.pending_events(), 5u);
+  sched.RunUntilIdle();
+  // Survivors i = 0, 100, ..., 400 were scheduled at Millis(500 - i):
+  // later i fires earlier.
+  EXPECT_EQ(order, (std::vector<int>{400, 300, 200, 100, 0}));
   EXPECT_EQ(sched.pending_events(), 0u);
 }
 

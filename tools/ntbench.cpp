@@ -19,6 +19,7 @@
 //   --seed S          root seed (default 1)
 //   --runs R          averaged runs with distinct seeds (default 1)
 //   --batch-kb KB     worker batch size (default 500)
+//   --real-crypto     RFC 8032 Ed25519 signatures (default: FastSigner)
 //   --async-from S --async-to S --async-factor X   asynchrony window
 //   --csv             machine-readable one-line output
 #include <cstdio>
@@ -98,6 +99,8 @@ int main(int argc, char** argv) {
       runs = std::stoi(next());
     } else if (flag == "--batch-kb") {
       params.cluster.narwhal.batch_size_bytes = std::stoull(next()) * 1000;
+    } else if (flag == "--real-crypto") {
+      params.cluster.signer_kind = SignerKind::kEd25519;
     } else if (flag == "--async-from") {
       params.async_start = Seconds(std::stoll(next()));
     } else if (flag == "--async-to") {
