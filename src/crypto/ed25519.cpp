@@ -397,6 +397,13 @@ Ge GeNeg(const Ge& p) {
   return r;
 }
 
+// [8]P: clears the small-order (torsion) component of a point. Verification
+// equations are checked after multiplying the residual by the cofactor, so a
+// residual consisting only of an order-1/2/4/8 component counts as zero —
+// the "cofactored" verification of RFC 8032, which is what makes batch and
+// single verification accept exactly the same signature sets.
+Ge GeMulCofactor(const Ge& p) { return GeDouble(GeDouble(GeDouble(p))); }
+
 // Precomputed addend (ref10's "cached" form): storing (Y+X, Y-X, Z, 2dT)
 // makes each addition one multiplication cheaper than the general formula
 // (the 2dT product is amortized into the table build) and skips the
@@ -453,12 +460,6 @@ Ge GeSubCached(const Ge& p, const GeCached& q) {
 
 // Identity in extended coordinates: X = 0 and Y = Z (then T = XY/Z = 0).
 bool GeIsIdentity(const Ge& p) { return FeIsZero(p.x) && FeEqual(p.y, p.z); }
-
-// Projective equality without inversions: x1/z1 == x2/z2 and y1/z1 == y2/z2.
-bool GeEqual(const Ge& p, const Ge& q) {
-  return FeEqual(FeMul(p.x, q.z), FeMul(q.x, p.z)) &&
-         FeEqual(FeMul(p.y, q.z), FeMul(q.y, p.z));
-}
 
 // [s]P for a 256-bit little-endian scalar, MSB-first double-and-add.
 Ge GeScalarMult(const uint8_t s[32], const Ge& p) {
@@ -896,9 +897,9 @@ Ge MsmEvaluate(const std::vector<MsmTerm>& terms) {
 
 // ===========================================================================
 // Batch verification (RFC 8032 §8.2 style). Per-item prework decodes the
-// points, rejects S >= L, and computes k = H(R || A || M) mod L; the batch
-// equation with 128-bit random coefficients z_i then checks all items at
-// once. Bisection localizes failures.
+// points, rejects S >= L, and computes k = H(R || A || M) mod L; the
+// cofactored batch equation with 128-bit random coefficients z_i then checks
+// all items at once. Bisection localizes failures.
 // ===========================================================================
 
 // Precomputed per-item state that survives across bisection rounds.
@@ -913,10 +914,20 @@ struct BatchPre {
 
 bool ScIsZero(const Sc& a) { return (a.w[0] | a.w[1] | a.w[2] | a.w[3]) == 0; }
 
-// Checks [sum z_i s_i]B - sum [z_i k_i]A_i - sum [z_i]R_i == identity for
-// the given items. The z_i are derived from a transcript of the subset
+// Checks [8]([sum z_i s_i]B - sum [z_i k_i]A_i - sum [z_i]R_i) == identity
+// for the given items. The z_i are derived from a transcript of the subset
 // (Fiat-Shamir style), so results are deterministic; the challenge k_i binds
 // the message, so hashing (pk, sig, k) suffices.
+//
+// The cofactor multiplication is load-bearing for consistency with single
+// verification: without it, an adversarial signature whose residual is a
+// small-order point T (e.g. R' = R + T) would make the batch verdict depend
+// on z_i mod 8 — i.e. on the exact flush composition, which differs across
+// delivery paths and would let honest validators reach different verdicts
+// for the same certificate. Multiplying by 8 clears every torsion component
+// on both the batch and single paths, so the two accept the same signatures
+// (up to the 2^-128 z-collision, which bisection resolves to the single
+// equation anyway).
 bool BatchEquationHolds(const std::vector<const BatchPre*>& items) {
   Sha512 transcript;
   transcript.Update("nt-ed25519-batch");
@@ -963,10 +974,14 @@ bool BatchEquationHolds(const std::vector<const BatchPre*>& items) {
   // no table build) rather than the generic MSM.
   uint8_t c_bytes[32];
   ScToBytes(c_bytes, c);
-  return GeIsIdentity(GeAdd(MsmEvaluate(terms), GeScalarMultBase(c_bytes)));
+  Ge residual = GeAdd(MsmEvaluate(terms), GeScalarMultBase(c_bytes));
+  return GeIsIdentity(GeMulCofactor(residual));
 }
 
-// The single-signature equation [S]B == R + [k]A on precomputed state.
+// The cofactored single-signature equation [8]([S]B - R - [k]A) == identity
+// on precomputed state. Must match Ed25519Verify exactly: bisection leaves
+// land here, and their verdicts are the contract between batch and single
+// verification.
 bool SingleEquationHolds(const BatchPre& item) {
   uint8_t s_bytes[32];
   ScToBytes(s_bytes, item.s);
@@ -974,7 +989,7 @@ bool SingleEquationHolds(const BatchPre& item) {
   ScToBytes(k_bytes, item.k);
   Ge lhs = GeScalarMultBase(s_bytes);
   Ge rhs = GeAdd(item.r, GeScalarMult(k_bytes, item.a));
-  return GeEqual(lhs, rhs);
+  return GeIsIdentity(GeMulCofactor(GeAdd(lhs, GeNeg(rhs))));
 }
 
 // Batch check over `items`, writing per-item verdicts through `out` (indexed
@@ -1094,10 +1109,14 @@ bool Ed25519Verify(const Ed25519PublicKey& pk, const uint8_t* msg, size_t len,
   uint8_t k_bytes[32];
   ScToBytes(k_bytes, k);
 
-  // Check [S]B == R + [k]A (projective comparison; no field inversion).
+  // Cofactored check: [8]([S]B - R - [k]A) == identity (the "[8][S]B ==
+  // [8]R + [8][k]A" form RFC 8032 permits). Multiplying by the cofactor
+  // clears small-order components, so this accepts exactly the same
+  // signature sets as the cofactored batch equation — adversarial torsion
+  // offsets in R or A cannot make the two paths disagree.
   Ge lhs = GeScalarMultBase(sig.data() + 32);
   Ge rhs = GeAdd(r_point, GeScalarMult(k_bytes, a_point));
-  return GeEqual(lhs, rhs);
+  return GeIsIdentity(GeMulCofactor(GeAdd(lhs, GeNeg(rhs))));
 }
 
 std::vector<bool> Ed25519BatchVerify(const Ed25519BatchItem* items, size_t n) {

@@ -60,8 +60,11 @@ class Signer {
   // Verifies a batch of signatures, one verdict per item. The default
   // implementation loops over Verify (what FastSigner wants: its keyed-hash
   // MACs have no batchable structure); Ed25519Signer overrides it with true
-  // multi-scalar batch verification. Must agree with per-item Verify bit-for
-  // bit in both schemes, so protocol code can stay scheme-agnostic.
+  // multi-scalar batch verification. Must agree with per-item Verify in both
+  // schemes so protocol code can stay scheme-agnostic — Ed25519 guarantees
+  // this by checking the *cofactored* equation on both paths (small-order
+  // adversarial components clear identically), leaving only the 2^-128
+  // Fiat-Shamir collision as a theoretical divergence.
   virtual std::vector<bool> VerifyBatch(const std::vector<BatchItem>& items) const;
 };
 

@@ -134,10 +134,10 @@ void HotStuff::HandleProposal(uint32_t from, const MsgHsProposal& msg) {
   if (block.view != justified + 1) {
     return;  // View not justified by QC/TC.
   }
-  if (!block.justify.Verify(committee_, *signer_)) {
+  if (!block.justify.Verify(committee_, *signer_, &cert_cache_)) {
     return;
   }
-  if (block.tc.has_value() && !block.tc->Verify(committee_, *signer_)) {
+  if (block.tc.has_value() && !block.tc->Verify(committee_, *signer_, &cert_cache_)) {
     return;
   }
 
@@ -333,7 +333,7 @@ void HotStuff::CommitUpTo(const Digest& digest) {
   if (!chain.empty()) {
     const HsBlock* oldest = GetBlock(chain.front());
     if (oldest != nullptr && oldest->view > 0) {
-      VerifiedCertCache::HotStuff().OnGcRound(oldest->view);
+      cert_cache_.OnGcRound(oldest->view);
     }
   }
 }
@@ -353,7 +353,7 @@ void HotStuff::HandleTimeout(const MsgHsTimeout& msg) {
   }
   // The attached high QC helps laggards catch up — but only if it is real; a
   // Byzantine voter must not be able to fast-forward views with a forgery.
-  if (msg.high_qc.Verify(committee_, *signer_)) {
+  if (msg.high_qc.Verify(committee_, *signer_, &cert_cache_)) {
     AdoptQc(msg.high_qc);
   }
   auto& set = timeout_sets_[msg.view];

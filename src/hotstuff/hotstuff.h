@@ -24,6 +24,7 @@
 #include "src/hotstuff/messages.h"
 #include "src/hotstuff/payload.h"
 #include "src/net/network.h"
+#include "src/types/cert_cache.h"
 #include "src/types/committee.h"
 
 namespace nt {
@@ -59,6 +60,9 @@ class HotStuff : public NetNode {
   uint64_t committed_blocks() const { return committed_count_; }
   uint64_t timeouts_fired() const { return timeouts_fired_; }
   ValidatorId LeaderOf(View view) const { return static_cast<ValidatorId>(view % committee_.size()); }
+  // This node's verified-QC/TC cache — per-instance so every simulated
+  // validator re-verifies certificates independently (see Primary::cert_cache).
+  VerifiedCertCache& cert_cache() { return cert_cache_; }
 
  private:
   struct VoteSet {
@@ -109,6 +113,7 @@ class HotStuff : public NetNode {
   uint32_t fetch_rotation_ = 0;
   Scheduler::TimerId view_timer_ = Scheduler::kInvalidTimer;
 
+  VerifiedCertCache cert_cache_;
   QuorumCert high_qc_;          // Genesis QC initially.
   std::optional<TimeoutCert> last_tc_;
   Digest locked_block_{};       // Genesis digest (zero).

@@ -10,10 +10,12 @@ namespace {
 // Shared verification core for the two HotStuff certificate kinds: quorum +
 // distinct-voter structure, then a cache probe, then one batched flush of
 // the vote signatures over a common preimage. `domain` separates QC and TC
-// cache keys; `view` is the GC dimension.
+// cache keys; `view` is the GC dimension. `cache_override` selects the
+// per-node cache; nullptr falls back to the process-wide default.
 bool VerifyVoteSet(std::string_view domain, const Bytes& preimage, View view,
                    const std::vector<std::pair<ValidatorId, Signature>>& votes,
-                   const Committee& committee, const Signer& verifier) {
+                   const Committee& committee, const Signer& verifier,
+                   VerifiedCertCache* cache_override) {
   if (votes.size() < committee.quorum_threshold()) {
     return false;
   }
@@ -37,7 +39,8 @@ bool VerifyVoteSet(std::string_view domain, const Bytes& preimage, View view,
     key_hash.Update(sig.data(), sig.size());
   }
   Digest key = key_hash.Finalize();
-  VerifiedCertCache& cache = VerifiedCertCache::HotStuff();
+  VerifiedCertCache& cache =
+      cache_override != nullptr ? *cache_override : VerifiedCertCache::HotStuff();
   if (cache.Lookup(key)) {
     return true;
   }
@@ -104,12 +107,13 @@ Bytes QuorumCert::VotePreimage(const Digest& block_digest, View view) {
   return w.Take();
 }
 
-bool QuorumCert::Verify(const Committee& committee, const Signer& verifier) const {
+bool QuorumCert::Verify(const Committee& committee, const Signer& verifier,
+                        VerifiedCertCache* cache) const {
   if (IsGenesis()) {
     return true;
   }
   return VerifyVoteSet("nt-qc-cache", VotePreimage(block_digest, view), view, votes, committee,
-                       verifier);
+                       verifier, cache);
 }
 
 // --------------------------------------------------------------- TimeoutCert
@@ -121,8 +125,10 @@ Bytes TimeoutCert::VotePreimage(View view) {
   return w.Take();
 }
 
-bool TimeoutCert::Verify(const Committee& committee, const Signer& verifier) const {
-  return VerifyVoteSet("nt-tc-cache", VotePreimage(view), view, votes, committee, verifier);
+bool TimeoutCert::Verify(const Committee& committee, const Signer& verifier,
+                         VerifiedCertCache* cache) const {
+  return VerifyVoteSet("nt-tc-cache", VotePreimage(view), view, votes, committee, verifier,
+                       cache);
 }
 
 // ------------------------------------------------------------------- HsBlock

@@ -40,25 +40,33 @@ struct HsPayload {
 };
 
 // 2f+1 votes over (block digest, view).
+//
+// Verify memoizes positive results: each HotStuff node passes its own
+// per-validator cache (every node re-verifies independently, like a real
+// deployment); nullptr falls back to the process-wide default instance
+// (VerifiedCertCache::HotStuff()) for tools and tests.
 struct QuorumCert {
   Digest block_digest{};
   View view = 0;
   std::vector<std::pair<ValidatorId, Signature>> votes;
 
   static Bytes VotePreimage(const Digest& block_digest, View view);
-  bool Verify(const Committee& committee, const Signer& verifier) const;
+  bool Verify(const Committee& committee, const Signer& verifier,
+              VerifiedCertCache* cache = nullptr) const;
   // The genesis QC: zero digest, view 0, no votes. Exempt from Verify.
   bool IsGenesis() const { return view == 0 && votes.empty(); }
   size_t WireSize() const { return 32 + 8 + votes.size() * (4 + 64); }
 };
 
 // 2f+1 signed timeouts for a view; justifies entering view+1 without a QC.
+// `cache` as in QuorumCert::Verify.
 struct TimeoutCert {
   View view = 0;
   std::vector<std::pair<ValidatorId, Signature>> votes;
 
   static Bytes VotePreimage(View view);
-  bool Verify(const Committee& committee, const Signer& verifier) const;
+  bool Verify(const Committee& committee, const Signer& verifier,
+              VerifiedCertCache* cache = nullptr) const;
   size_t WireSize() const { return 8 + votes.size() * (4 + 64); }
 };
 

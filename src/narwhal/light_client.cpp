@@ -62,7 +62,7 @@ std::optional<Bytes> LightClient::VerifyInclusion(const InclusionProof& proof) c
   //     verified as one batch (single multi-scalar multiplication for
   //     Ed25519) and memoized in the verified-certificate cache — then the
   //     header author's signature.
-  if (!proof.certificate.Verify(committee_, *verifier_) ||
+  if (!proof.certificate.Verify(committee_, *verifier_, &cert_cache_) ||
       !verifier_->Verify(committee_.key_of(proof.header->author), header_digest,
                          proof.header->author_sig)) {
     return reject();

@@ -54,6 +54,9 @@ class LightClient {
  private:
   const Committee& committee_;
   const Signer* verifier_;
+  // Client-local verified-certificate cache: a light client trusts only its
+  // own past verifications, never another process-resident instance's.
+  mutable VerifiedCertCache cert_cache_;
   mutable uint64_t verified_ = 0;
   mutable uint64_t rejected_ = 0;
 };

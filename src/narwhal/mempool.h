@@ -38,9 +38,10 @@ class Mempool {
   std::optional<Certificate> CertificateFor(const Digest& batch_digest) const;
 
   // valid(d, c(d)): structural and cryptographic certificate check. Runs
-  // through the batched verification kernel and the verified-certificate
-  // cache, so repeated validity queries for the same certificate cost one
-  // cache probe after the first.
+  // through the batched verification kernel and the process-wide default
+  // verified-certificate cache (VerifiedCertCache::Narwhal() — this facade
+  // is a tool-facing API, not a simulated validator), so repeated validity
+  // queries for the same certificate cost one cache probe after the first.
   static bool Valid(const Committee& committee, const Signer& verifier, const Certificate& cert) {
     return cert.Verify(committee, verifier);
   }

@@ -190,7 +190,7 @@ void Primary::HandleHeader(uint32_t from, const MsgHeader& msg) {
     // parent's votes share a single multi-scalar multiplication); the
     // per-parent AcceptCertificate calls below then hit the verified-
     // certificate cache.
-    if (!Certificate::VerifyAll(header.parents, committee_, *signer_)) {
+    if (!Certificate::VerifyAll(header.parents, committee_, *signer_, &cert_cache_)) {
       LOG_WARN() << "header with invalid parent certificate from validator " << header.author;
       return;
     }
@@ -323,7 +323,7 @@ bool Primary::AcceptCertificate(const Certificate& cert, bool request_header_if_
     (void)known;
     return true;  // Already verified and stored.
   }
-  if (!cert.Verify(committee_, *signer_)) {
+  if (!cert.Verify(committee_, *signer_, &cert_cache_)) {
     LOG_WARN() << "invalid certificate for round " << cert.round;
     return false;
   }
@@ -391,7 +391,7 @@ void Primary::StoreHeader(std::shared_ptr<const BlockHeader> header, const Diges
 void Primary::SetGcRound(Round gc_round) {
   // Certificates below the horizon can no longer be presented for
   // verification; release their verified-cache entries.
-  VerifiedCertCache::Narwhal().OnGcRound(gc_round);
+  cert_cache_.OnGcRound(gc_round);
   // Re-inject own batches whose headers fell below the horizon uncommitted
   // (paper §3.3: transaction-level fairness), and offload evicted rounds to
   // the cold archive if one is attached (§3.3: CDN offload).

@@ -31,6 +31,7 @@
 #include "src/narwhal/dag.h"
 #include "src/narwhal/worker.h"
 #include "src/net/network.h"
+#include "src/types/cert_cache.h"
 #include "src/types/committee.h"
 #include "src/types/messages.h"
 
@@ -92,6 +93,11 @@ class Primary : public NetNode {
   uint64_t votes_cast() const { return votes_cast_; }
   uint64_t reinjected_batches() const { return reinjected_batches_; }
   size_t pending_payload() const { return pending_batches_.size(); }
+  // This validator's verified-certificate cache. Per-instance so every
+  // simulated validator does its own verification work (no cross-validator
+  // sharing through a process-wide singleton); Cluster aggregates the
+  // per-validator stats into Metrics.
+  VerifiedCertCache& cert_cache() { return cert_cache_; }
 
  private:
   struct Proposal {
@@ -143,6 +149,7 @@ class Primary : public NetNode {
   uint32_t net_id_ = 0;
 
   Dag dag_;
+  VerifiedCertCache cert_cache_;
   Round round_ = 0;
   bool proposed_current_round_ = false;
   Scheduler::TimerId propose_timer_ = Scheduler::kInvalidTimer;

@@ -91,6 +91,7 @@ void Cluster::BuildNarwhal() {
 
     primaries_[v] = std::make_unique<Primary>(v, committee_, config_.narwhal, network_.get(),
                                               &topology_, signers_[v].get());
+    metrics_.RegisterCertCache(&primaries_[v]->cert_cache());
     uint32_t primary_id = network_->AddNode(primaries_[v].get(), region, primary_machine);
     primaries_[v]->set_net_id(primary_id);
     topology_.primary_of[v] = primary_id;
@@ -160,6 +161,7 @@ void Cluster::BuildHotStuff() {
 
     hs_nodes_[v] = std::make_unique<HotStuff>(v, committee_, config_.hotstuff, network_.get(),
                                               signers_[v].get(), providers_[v].get());
+    metrics_.RegisterCertCache(&hs_nodes_[v]->cert_cache());
     uint32_t net_id = network_->AddNode(hs_nodes_[v].get(), region, machine);
     hs_nodes_[v]->set_net_id(net_id);
     consensus_net_ids_[v] = net_id;

@@ -57,8 +57,8 @@ struct ExperimentResult {
   uint64_t committed_txs = 0;
   uint64_t sampled_txs = 0;
 
-  // Verified-certificate cache activity during the run (deltas over the
-  // run's Metrics baseline; see Metrics::cert_cache_hits).
+  // Verified-certificate cache activity during the run, aggregated over
+  // every node's per-validator cache (see Metrics::cert_cache_hits).
   uint64_t cert_cache_hits = 0;
   uint64_t cert_cache_misses = 0;
 };

@@ -1,6 +1,36 @@
 #include "src/runtime/metrics.h"
 
 namespace nt {
+namespace {
+
+// Counter delta that tolerates the counter moving backwards (a cache was
+// Clear()ed or ResetStats() mid-run): clamp to zero rather than wrap.
+uint64_t ClampedDelta(uint64_t current, uint64_t baseline) {
+  return current < baseline ? 0 : current - baseline;
+}
+
+}  // namespace
+
+void Metrics::RegisterCertCache(const VerifiedCertCache* cache) {
+  cert_caches_.push_back({cache, cache->stats()});
+}
+
+uint64_t Metrics::cert_cache_hits() const {
+  uint64_t hits = ClampedDelta(VerifiedCertCache::Combined().hits, cert_cache_baseline_.hits);
+  for (const RegisteredCache& rc : cert_caches_) {
+    hits += ClampedDelta(rc.cache->stats().hits, rc.baseline.hits);
+  }
+  return hits;
+}
+
+uint64_t Metrics::cert_cache_misses() const {
+  uint64_t misses =
+      ClampedDelta(VerifiedCertCache::Combined().misses, cert_cache_baseline_.misses);
+  for (const RegisteredCache& rc : cert_caches_) {
+    misses += ClampedDelta(rc.cache->stats().misses, rc.baseline.misses);
+  }
+  return misses;
+}
 
 void Metrics::OnCommit(ValidatorId at, ValidatorId latency_owner, uint64_t num_txs,
                        uint64_t payload_bytes, const std::vector<TxSample>& samples) {

@@ -54,23 +54,35 @@ class Metrics {
     return window > 0 ? static_cast<double>(committed_txs_) / window : 0.0;
   }
 
-  // Verified-certificate cache activity attributed to this run: deltas of
-  // the process-local cache counters since this Metrics instance was created
-  // (the caches outlive individual experiments).
-  uint64_t cert_cache_hits() const {
-    return VerifiedCertCache::Combined().hits - cert_cache_baseline_.hits;
-  }
-  uint64_t cert_cache_misses() const {
-    return VerifiedCertCache::Combined().misses - cert_cache_baseline_.misses;
-  }
+  // Attributes a per-validator cache's activity to this run. Cluster calls
+  // this for every node it builds; the cache's counters are snapshotted at
+  // registration, so activity that predates the run is excluded. The pointer
+  // must outlive this Metrics instance (Cluster declares metrics_ before the
+  // node containers, so nodes are destroyed first).
+  void RegisterCertCache(const VerifiedCertCache* cache);
+
+  // Verified-certificate cache activity attributed to this run: the sum over
+  // registered per-validator caches, plus the process-wide default caches'
+  // movement since this Metrics instance was created (tools and tests that
+  // verify through the defaults). Every delta clamps to zero when a cache's
+  // counters moved backwards (Clear()/ResetStats() mid-run) instead of
+  // wrapping around.
+  uint64_t cert_cache_hits() const;
+  uint64_t cert_cache_misses() const;
   double CertCacheHitRate() const {
     uint64_t total = cert_cache_hits() + cert_cache_misses();
     return total == 0 ? 0.0 : static_cast<double>(cert_cache_hits()) / static_cast<double>(total);
   }
 
  private:
+  struct RegisteredCache {
+    const VerifiedCertCache* cache;
+    VerifiedCertCache::Stats baseline;
+  };
+
   Scheduler* scheduler_;
   VerifiedCertCache::Stats cert_cache_baseline_;
+  std::vector<RegisteredCache> cert_caches_;
   ValidatorId observer_ = 0;
   TimePoint window_start_ = 0;
   TimePoint window_end_ = kNever;

@@ -1,9 +1,16 @@
-// Process-local cache of certificates whose signature sets have already been
+// Per-validator cache of certificates whose signature sets have already been
 // verified. Quorum certificates are re-delivered constantly — the same
 // Narwhal certificate arrives via its own broadcast, as a parent inside the
 // next round's headers, and again inside HotStuff proposals — and each
 // delivery used to re-verify 2f+1 signatures. Caching by content digest
 // makes every route after the first free.
+//
+// Each protocol node (Primary, HotStuff, LightClient) owns its own instance:
+// the simulator runs every validator in one process, and a shared cache
+// would let validator i skip verification because validator j already did it
+// — work no real deployment could share. The static Narwhal()/HotStuff()
+// instances are process-wide *defaults* for tools and tests that verify
+// certificates outside any node.
 //
 // Only *positive* results are cached (a certificate that failed to verify is
 // simply re-checked), and the key covers the committee fingerprint plus the
@@ -56,11 +63,13 @@ class VerifiedCertCache {
   void ResetStats();
   void Clear();  // Drops entries, stats, and the GC horizon (tests).
 
-  // Process-local instances: one keyed by Narwhal rounds, one by HotStuff
-  // views (their GC horizons advance independently).
+  // Process-wide default instances for callers not tied to a simulated
+  // validator (tools, tests, the Mempool facade): one keyed by Narwhal
+  // rounds, one by HotStuff views (their GC horizons advance independently).
+  // Protocol nodes use their own per-instance caches instead.
   static VerifiedCertCache& Narwhal();
   static VerifiedCertCache& HotStuff();
-  // Aggregate stats across both instances (metrics surfacing).
+  // Aggregate stats across both default instances (metrics surfacing).
   static Stats Combined();
 
  private:

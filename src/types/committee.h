@@ -23,9 +23,11 @@ struct ValidatorInfo {
 
 class Committee {
  public:
-  Committee() = default;
+  Committee() { ComputeFingerprint(); }
   explicit Committee(std::vector<ValidatorInfo> validators)
-      : validators_(std::move(validators)) {}
+      : validators_(std::move(validators)) {
+    ComputeFingerprint();
+  }
 
   uint32_t size() const { return static_cast<uint32_t>(validators_.size()); }
 
@@ -55,25 +57,23 @@ class Committee {
   // Stable digest of the membership (all public keys, in id order). Part of
   // the verified-certificate cache key, so a cached verification can never
   // leak between committees that happen to share certificate bytes.
-  const Digest& fingerprint() const {
-    if (!fingerprint_computed_) {
-      Sha256 h;
-      h.Update("nt-committee");
-      for (const ValidatorInfo& v : validators_) {
-        h.Update(v.key.data(), v.key.size());
-      }
-      fingerprint_ = h.Finalize();
-      fingerprint_computed_ = true;
-    }
-    return fingerprint_;
-  }
+  // Computed eagerly at construction: fingerprint() must stay a pure read so
+  // concurrent readers (the cache is mutex-guarded, the committee is not)
+  // never see a torn digest.
+  const Digest& fingerprint() const { return fingerprint_; }
 
  private:
+  void ComputeFingerprint() {
+    Sha256 h;
+    h.Update("nt-committee");
+    for (const ValidatorInfo& v : validators_) {
+      h.Update(v.key.data(), v.key.size());
+    }
+    fingerprint_ = h.Finalize();
+  }
+
   std::vector<ValidatorInfo> validators_;
-  // Lazily computed (the simulation is single-threaded; worst case under
-  // racing readers is recomputing the same value).
-  mutable Digest fingerprint_{};
-  mutable bool fingerprint_computed_ = false;
+  Digest fingerprint_{};
 };
 
 }  // namespace nt

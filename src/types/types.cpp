@@ -157,11 +157,13 @@ std::optional<Certificate> Certificate::Decode(Reader& r) {
   return c;
 }
 
-bool Certificate::Verify(const Committee& committee, const Signer& verifier) const {
+bool Certificate::Verify(const Committee& committee, const Signer& verifier,
+                         VerifiedCertCache* cache_override) const {
   if (!CertStructureOk(committee, *this)) {
     return false;
   }
-  VerifiedCertCache& cache = VerifiedCertCache::Narwhal();
+  VerifiedCertCache& cache =
+      cache_override != nullptr ? *cache_override : VerifiedCertCache::Narwhal();
   Digest key = CertCacheKey(committee, *this);
   if (cache.Lookup(key)) {
     return true;
@@ -179,8 +181,9 @@ bool Certificate::Verify(const Committee& committee, const Signer& verifier) con
 }
 
 bool Certificate::VerifyAll(const std::vector<Certificate>& certs, const Committee& committee,
-                            const Signer& verifier) {
-  VerifiedCertCache& cache = VerifiedCertCache::Narwhal();
+                            const Signer& verifier, VerifiedCertCache* cache_override) {
+  VerifiedCertCache& cache =
+      cache_override != nullptr ? *cache_override : VerifiedCertCache::Narwhal();
   bool all_valid = true;
   // One flush covers the uncached certificates' votes; vote counts per
   // certificate let the results map back so each certificate gets an

@@ -19,6 +19,8 @@
 
 namespace nt {
 
+class VerifiedCertCache;
+
 // A sampled transaction used for end-to-end latency measurement: the paper
 // measures latency "by tracking sample transactions throughout the system".
 struct TxSample {
@@ -87,18 +89,22 @@ struct Certificate {
   // Structural + cryptographic validity: >= 2f+1 distinct known voters whose
   // signatures verify. `verifier` supplies the scheme. Signatures are checked
   // through the signer's batch kernel, and a positive result is memoized in
-  // the process-local verified-certificate cache, so re-deliveries of the
-  // same certificate (broadcast, header parent, consensus payload) verify
-  // once.
-  bool Verify(const Committee& committee, const Signer& verifier) const;
+  // `cache`, so re-deliveries of the same certificate (broadcast, header
+  // parent, consensus payload) verify once. Protocol nodes pass their own
+  // per-validator cache — every simulated validator must do its own crypto
+  // work, as a real deployment would; nullptr falls back to the process-wide
+  // default instance (VerifiedCertCache::Narwhal()) for tools and tests.
+  bool Verify(const Committee& committee, const Signer& verifier,
+              VerifiedCertCache* cache = nullptr) const;
 
   // Verifies many certificates with a single batched flush across all their
   // uncached vote signatures — the bulk entry point for header-parent sets
   // and certificate payloads. Returns true iff every certificate is valid;
   // each valid certificate lands in the cache (so per-certificate Verify
   // calls that follow are hits) even when some other certificate fails.
+  // `cache` as in Verify.
   static bool VerifyAll(const std::vector<Certificate>& certs, const Committee& committee,
-                        const Signer& verifier);
+                        const Signer& verifier, VerifiedCertCache* cache = nullptr);
 
   size_t WireSize() const;
 };

@@ -195,5 +195,83 @@ TEST_F(CertCacheIntegrationTest, MetricsSurfaceCacheDeltas) {
   EXPECT_DOUBLE_EQ(metrics.CertCacheHitRate(), 2.0 / 3.0);
 }
 
+TEST_F(CertCacheIntegrationTest, PerValidatorCachesVerifyIndependently) {
+  // Two simulated validators each pass their own cache: the second validator
+  // must NOT get a hit from the first one's verification — in a real
+  // deployment each node does its own crypto work. (Before per-node caches,
+  // validators 2..N of a single-process run rode the first one's singleton
+  // entries and skipped ~(N-1)/N of the verification workload.)
+  VerifiedCertCache cache_a;
+  VerifiedCertCache cache_b;
+  Certificate cert = Certify(Sha256::Hash("shared-cert"), 5, 1);
+
+  EXPECT_TRUE(cert.Verify(committee, *signers[0], &cache_a));
+  EXPECT_TRUE(cert.Verify(committee, *signers[1], &cache_b));
+  EXPECT_EQ(cache_a.stats().misses, 1u);
+  EXPECT_EQ(cache_a.stats().insertions, 1u);
+  EXPECT_EQ(cache_b.stats().misses, 1u);  // Verified again, not shared.
+  EXPECT_EQ(cache_b.stats().insertions, 1u);
+  // The default singleton saw none of this traffic.
+  EXPECT_EQ(VerifiedCertCache::Narwhal().stats().misses, 0u);
+  EXPECT_EQ(VerifiedCertCache::Narwhal().stats().insertions, 0u);
+
+  // Re-delivery to the same validator is still a local hit, and VerifyAll
+  // honours the override too.
+  EXPECT_TRUE(cert.Verify(committee, *signers[0], &cache_a));
+  EXPECT_EQ(cache_a.stats().hits, 1u);
+  EXPECT_TRUE(Certificate::VerifyAll({cert}, committee, *signers[1], &cache_b));
+  EXPECT_EQ(cache_b.stats().hits, 1u);
+}
+
+TEST_F(CertCacheIntegrationTest, MetricsAggregateRegisteredCaches) {
+  Scheduler scheduler;
+  Metrics metrics(&scheduler);
+  VerifiedCertCache cache_a;
+  VerifiedCertCache cache_b;
+  // Activity before registration is excluded from the run's deltas.
+  Certificate pre = Certify(Sha256::Hash("pre-registration"), 1, 0);
+  EXPECT_TRUE(pre.Verify(committee, *signers[0], &cache_a));
+  metrics.RegisterCertCache(&cache_a);
+  metrics.RegisterCertCache(&cache_b);
+  EXPECT_EQ(metrics.cert_cache_hits(), 0u);
+  EXPECT_EQ(metrics.cert_cache_misses(), 0u);
+
+  Certificate cert = Certify(Sha256::Hash("registered-run"), 2, 1);
+  EXPECT_TRUE(cert.Verify(committee, *signers[0], &cache_a));
+  EXPECT_TRUE(cert.Verify(committee, *signers[0], &cache_a));
+  EXPECT_TRUE(cert.Verify(committee, *signers[1], &cache_b));
+  EXPECT_EQ(metrics.cert_cache_misses(), 2u);  // One per validator cache.
+  EXPECT_EQ(metrics.cert_cache_hits(), 1u);
+}
+
+TEST_F(CertCacheIntegrationTest, MetricsClampWhenCountersMoveBackwards) {
+  // Clear()/ResetStats() move a cache's counters below the metrics baseline;
+  // the deltas must clamp to zero, not wrap to ~2^64.
+  Certificate warmup = Certify(Sha256::Hash("will-be-cleared"), 1, 0);
+  EXPECT_TRUE(warmup.Verify(committee, *signers[0]));
+  EXPECT_TRUE(warmup.Verify(committee, *signers[0]));  // Baseline: 1 hit, 1 miss.
+
+  Scheduler scheduler;
+  Metrics metrics(&scheduler);
+  VerifiedCertCache cache_a;
+  Certificate cert = Certify(Sha256::Hash("clamped"), 2, 1);
+  EXPECT_TRUE(cert.Verify(committee, *signers[0], &cache_a));
+  metrics.RegisterCertCache(&cache_a);
+
+  VerifiedCertCache::Narwhal().Clear();  // Singleton counters fall below baseline.
+  cache_a.ResetStats();                  // Registered cache falls below its baseline.
+  EXPECT_EQ(metrics.cert_cache_hits(), 0u);
+  EXPECT_EQ(metrics.cert_cache_misses(), 0u);
+  EXPECT_DOUBLE_EQ(metrics.CertCacheHitRate(), 0.0);
+
+  // Counters that climb back past the baseline resume counting.
+  EXPECT_TRUE(warmup.Verify(committee, *signers[0]));   // Miss (cache cleared).
+  EXPECT_TRUE(warmup.Verify(committee, *signers[0]));   // Hit.
+  EXPECT_EQ(metrics.cert_cache_misses(), 0u);  // 1 < baseline 1 clamps... still 0.
+  EXPECT_EQ(metrics.cert_cache_hits(), 0u);
+  EXPECT_TRUE(Certify(Sha256::Hash("fresh"), 3, 2).Verify(committee, *signers[0]));
+  EXPECT_EQ(metrics.cert_cache_misses(), 1u);  // 2 misses vs baseline 1.
+}
+
 }  // namespace
 }  // namespace nt

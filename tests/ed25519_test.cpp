@@ -350,5 +350,98 @@ TEST(Ed25519BatchTest, RandomizedAgreementWithSingleVerify) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Small-order (torsion) inputs: cofactored single and batch verification
+// must reach the same verdict no matter how the flush is composed.
+// ---------------------------------------------------------------------------
+
+// The canonical encoding of a point of order 8 on edwards25519 (the standard
+// small-order point list; also reachable as a 2-torsion-free generator of
+// the cofactor subgroup).
+std::array<uint8_t, 32> Order8Point() {
+  auto bytes = FromHex("26e8958fc2b227b045c3f489f2ef98f0d5dfac05d3c63339b13802886d53fc05");
+  std::array<uint8_t, 32> enc{};
+  std::memcpy(enc.data(), bytes->data(), 32);
+  return enc;
+}
+
+// Builds the classic small-order "signature": pk = T (order 8), R = T,
+// S = 0. Its residual [S]B - R - [k]A = -(1 + k mod 8)T is pure torsion, so
+// cofactored verification accepts it for *every* message, while a
+// cofactorless check would accept it only when k mod 8 happens to cancel —
+// exactly the flush-composition-dependent behaviour that must not exist.
+Ed25519BatchItem SmallOrderItem(const Bytes& msg) {
+  Ed25519BatchItem item;
+  item.pk = Order8Point();
+  std::memcpy(item.sig.data(), item.pk.data(), 32);  // R = T, S = 0.
+  item.msg = msg.data();
+  item.len = msg.size();
+  return item;
+}
+
+TEST(Ed25519TorsionTest, SmallOrderPointDecodes) {
+  EXPECT_TRUE(Ed25519PointOnCurve(Order8Point()));
+}
+
+TEST(Ed25519TorsionTest, SingleAndBatchAgreeAcrossFlushCompositions) {
+  // The same torsion-residual item is presented through every delivery
+  // shape the protocol can produce: standalone single verify, a batch of
+  // one, a clean batch with honest companions, and a batch that bisects
+  // because another item is corrupt. All verdicts must be equal — otherwise
+  // honest validators receiving the item via different routes would reach
+  // different validity verdicts for the same bytes.
+  Bytes msg = {0x42, 0x13, 0x37};
+  Ed25519BatchItem torsion = SmallOrderItem(msg);
+
+  const bool single = Ed25519Verify(torsion.pk, torsion.msg, torsion.len, torsion.sig);
+  EXPECT_TRUE(single);  // Cofactored semantics: torsion residuals clear.
+
+  // Batch of one.
+  std::vector<Ed25519BatchItem> alone = {torsion};
+  EXPECT_EQ(Ed25519BatchVerify(alone)[0], single);
+
+  // Mixed with honest signatures (these must stay valid too).
+  BatchFixture clean(9);
+  std::vector<Ed25519BatchItem> mixed = clean.items;
+  mixed.push_back(torsion);
+  auto ok = Ed25519BatchVerify(mixed);
+  for (size_t i = 0; i < clean.items.size(); ++i) {
+    EXPECT_TRUE(ok[i]) << "honest item " << i;
+  }
+  EXPECT_EQ(ok.back(), single);
+
+  // With a corrupted honest item forcing bisection down to leaves.
+  BatchFixture dirty(9);
+  dirty.items[4].sig[50] ^= 0x20;
+  std::vector<Ed25519BatchItem> bisected = dirty.items;
+  bisected.push_back(torsion);
+  ok = Ed25519BatchVerify(bisected);
+  for (size_t i = 0; i < dirty.items.size(); ++i) {
+    EXPECT_EQ(ok[i], i != 4) << "item " << i;
+  }
+  EXPECT_EQ(ok.back(), single);
+}
+
+TEST(Ed25519TorsionTest, NonTorsionResidualStillRejectsEverywhere) {
+  // S = 1 moves the residual off the torsion subgroup ([8]B != identity), so
+  // both paths must reject, in every composition.
+  Bytes msg = {0x99};
+  Ed25519BatchItem bad = SmallOrderItem(msg);
+  bad.sig[32] = 1;  // S = 1.
+
+  EXPECT_FALSE(Ed25519Verify(bad.pk, bad.msg, bad.len, bad.sig));
+  std::vector<Ed25519BatchItem> alone = {bad};
+  EXPECT_FALSE(Ed25519BatchVerify(alone)[0]);
+
+  BatchFixture clean(7);
+  std::vector<Ed25519BatchItem> mixed = clean.items;
+  mixed.push_back(bad);
+  auto ok = Ed25519BatchVerify(mixed);
+  for (size_t i = 0; i < clean.items.size(); ++i) {
+    EXPECT_TRUE(ok[i]) << "honest item " << i;
+  }
+  EXPECT_FALSE(ok.back());
+}
+
 }  // namespace
 }  // namespace nt
