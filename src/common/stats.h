@@ -10,14 +10,23 @@
 
 namespace nt {
 
-// Accumulates scalar samples and answers summary queries. Percentile queries
-// sort a copy lazily; intended for end-of-run reporting, not hot paths.
+// Accumulates scalar samples and answers summary queries. The sorted view
+// used by Percentile is memoized and invalidated on Add, and min/max are
+// tracked incrementally, so repeated queries (per-stage latency breakdowns
+// ask for several percentiles per stage) cost O(1) after the first sort.
 class SampleStats {
  public:
   void Add(double v) {
     samples_.push_back(v);
     sum_ += v;
     sum_sq_ += v * v;
+    if (samples_.size() == 1) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    sorted_valid_ = false;
   }
 
   size_t count() const { return samples_.size(); }
@@ -34,26 +43,26 @@ class SampleStats {
     return var > 0 ? std::sqrt(var) : 0.0;
   }
 
-  double Min() const {
-    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
-  }
+  double Min() const { return samples_.empty() ? 0.0 : min_; }
 
-  double Max() const {
-    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
-  }
+  double Max() const { return samples_.empty() ? 0.0 : max_; }
 
-  // p in [0, 100]. Nearest-rank percentile.
+  // p in [0, 100]. Linear interpolation between the two closest ranks
+  // (NumPy's default), not nearest-rank: Percentile(50) of {1, 2} is 1.5.
   double Percentile(double p) const {
     if (samples_.empty()) {
       return 0.0;
     }
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    if (!sorted_valid_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
+    double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
     size_t lo = static_cast<size_t>(rank);
-    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    size_t hi = std::min(lo + 1, sorted_.size() - 1);
     double frac = rank - static_cast<double>(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
   }
 
   const std::vector<double>& samples() const { return samples_; }
@@ -62,6 +71,10 @@ class SampleStats {
   std::vector<double> samples_;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace nt

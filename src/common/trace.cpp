@@ -1,0 +1,453 @@
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/types/types.h"
+
+namespace nt {
+
+// ------------------------------------------------------------ lifecycle events
+
+void Tracer::OnTxSubmit(uint64_t tx_id, ValidatorId target, TimePoint now) {
+  TxRecord& t = txs_[tx_id];
+  t.target = target;
+  Stamp(&t.submit, now);
+}
+
+void Tracer::OnTxResubmit(uint64_t tx_id, ValidatorId target, uint32_t attempt, TimePoint now) {
+  TxRecord& t = txs_[tx_id];
+  if (t.target == UINT32_MAX) {
+    t.target = target;
+  }
+  Stamp(&t.submit, now);
+  t.resubmits = std::max(t.resubmits, attempt);
+  IncrCounter("tx/resubmits");
+}
+
+void Tracer::OnTxAbandoned(uint64_t tx_id, TimePoint now) {
+  (void)now;
+  txs_[tx_id].abandoned = true;
+  IncrCounter("tx/abandoned");
+}
+
+void Tracer::OnBatchSealed(ValidatorId v, WorkerId w, const Digest& batch,
+                           const std::vector<TxSample>& samples, TimePoint now) {
+  BatchRecord& b = batches_[batch];
+  if (b.sealed != kUnset) {
+    return;  // Duplicate seal event (cannot happen; seqs make digests unique).
+  }
+  b.validator = v;
+  b.worker = w;
+  b.sealed = now;
+  b.num_samples = static_cast<uint32_t>(samples.size());
+  if (samples.empty()) {
+    return;
+  }
+  std::vector<uint64_t>& ids = batch_txs_[batch];
+  for (const TxSample& s : samples) {
+    TxRecord& t = txs_[s.tx_id];
+    // Backfill the submit stamp from the sample itself: covers transactions
+    // submitted directly through Cluster::SubmitTx (no LoadGenerator emit).
+    Stamp(&t.submit, s.submit_time);
+    Stamp(&t.sealed, now);
+    ids.push_back(s.tx_id);
+  }
+}
+
+void Tracer::OnBatchQuorum(ValidatorId v, const Digest& batch, TimePoint now) {
+  (void)v;
+  auto it = batches_.find(batch);
+  if (it != batches_.end()) {
+    Stamp(&it->second.quorum, now);
+  }
+  auto txs = batch_txs_.find(batch);
+  if (txs != batch_txs_.end()) {
+    for (uint64_t id : txs->second) {
+      Stamp(&txs_[id].quorum, now);
+    }
+  }
+}
+
+void Tracer::OnHeaderProposed(ValidatorId v, const Digest& header, Round round,
+                              const std::vector<BatchRef>& batches, TimePoint now) {
+  HeaderRecord& h = headers_[header];
+  h.author = v;
+  h.round = round;
+  Stamp(&h.proposed, now);
+  for (const BatchRef& ref : batches) {
+    auto txs = batch_txs_.find(ref.digest);
+    if (txs == batch_txs_.end()) {
+      continue;
+    }
+    for (uint64_t id : txs->second) {
+      Stamp(&txs_[id].proposed, now);
+      h.tx_ids.push_back(id);
+    }
+  }
+}
+
+void Tracer::OnCertFormed(ValidatorId v, const Digest& header, Round round, TimePoint now) {
+  HeaderRecord& h = headers_[header];
+  if (h.proposed == kUnset) {  // Cert observed before (or without) a propose event.
+    h.author = v;
+    h.round = round;
+  }
+  Stamp(&h.cert, now);
+  for (uint64_t id : h.tx_ids) {
+    Stamp(&txs_[id].cert, now);
+  }
+}
+
+void Tracer::OnHeaderCommitted(ValidatorId v, const Digest& header, TimePoint now) {
+  HeaderRecord& h = headers_[header];
+  Stamp(&h.committed, now);
+  if (v == h.author) {
+    Stamp(&h.author_committed, now);
+  }
+}
+
+void Tracer::OnSamplesCommitted(const std::vector<TxSample>& samples, TimePoint now) {
+  for (const TxSample& s : samples) {
+    TxRecord& t = txs_[s.tx_id];
+    Stamp(&t.submit, s.submit_time);
+    Stamp(&t.commit, now);
+  }
+}
+
+void Tracer::OnExecuted(ValidatorId v, const Digest& header, TimePoint now) {
+  auto it = headers_.find(header);
+  if (it == headers_.end()) {
+    return;
+  }
+  Stamp(&it->second.executed, now);
+  for (uint64_t id : it->second.tx_ids) {
+    TxRecord& t = txs_[id];
+    if (t.target == v) {
+      Stamp(&t.exec, now);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- counters
+
+void Tracer::IncrCounter(const std::string& name, uint64_t delta) { counters_[name] += delta; }
+
+void Tracer::IncrRetryRound(const std::string& kind, const Digest& digest, uint64_t messages) {
+  ++retry_rounds_[kind][digest];
+  IncrCounter(kind + "/msgs", messages);
+  IncrCounter(kind + "/rounds");
+}
+
+uint64_t Tracer::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+uint32_t Tracer::retry_rounds(const std::string& kind, const Digest& digest) const {
+  auto it = retry_rounds_.find(kind);
+  if (it == retry_rounds_.end()) {
+    return 0;
+  }
+  auto d = it->second.find(digest);
+  return d == it->second.end() ? 0 : d->second;
+}
+
+uint32_t Tracer::max_retry_rounds(const std::string& kind) const {
+  auto it = retry_rounds_.find(kind);
+  if (it == retry_rounds_.end()) {
+    return 0;
+  }
+  uint32_t max_rounds = 0;
+  for (const auto& [digest, rounds] : it->second) {
+    max_rounds = std::max(max_rounds, rounds);
+  }
+  return max_rounds;
+}
+
+uint64_t Tracer::total_retry_rounds(const std::string& kind) const {
+  auto it = retry_rounds_.find(kind);
+  if (it == retry_rounds_.end()) {
+    return 0;
+  }
+  uint64_t total = 0;
+  for (const auto& [digest, rounds] : it->second) {
+    total += rounds;
+  }
+  return total;
+}
+
+// ------------------------------------------------------------------- gauges
+
+void Tracer::RegisterGauge(const std::string& name, uint32_t pid, GaugeFn fn) {
+  Gauge g;
+  g.name = name;
+  g.pid = pid;
+  g.fn = std::move(fn);
+  gauges_.push_back(std::move(g));
+}
+
+void Tracer::SampleGauges(TimePoint now) {
+  for (Gauge& g : gauges_) {
+    double value = g.fn(now);
+    g.samples.emplace_back(now, value);
+    g.stats.Add(value);
+  }
+}
+
+const SampleStats* Tracer::gauge_stats(const std::string& name) const {
+  for (const Gauge& g : gauges_) {
+    if (g.name == name) {
+      return &g.stats;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------- breakdown
+
+LatencyBreakdown Tracer::ComputeBreakdown(TimePoint window_start, TimePoint window_end) const {
+  LatencyBreakdown bd;
+  for (const auto& [id, t] : txs_) {
+    if (t.submit == kUnset) {
+      continue;
+    }
+    if (t.commit == kUnset) {
+      if (t.submit >= window_start && t.submit < window_end) {
+        ++bd.incomplete_txs;
+      }
+      continue;
+    }
+    // Same filter as Metrics::OnCommit: committed inside the window, and
+    // submitted after the warm-up started.
+    if (t.commit < window_start || t.commit >= window_end || t.submit < window_start) {
+      continue;
+    }
+    ++bd.completed_txs;
+    // Telescoping stages: each measures from the previous recorded stage; a
+    // missing stage contributes zero and the anchor passes through, so the
+    // stages always sum exactly to e2e.
+    TimePoint anchor = t.submit;
+    auto stage = [&anchor](TimePoint stamp) {
+      if (stamp == kUnset || stamp < anchor) {
+        return 0.0;
+      }
+      double d = ToSeconds(stamp - anchor);
+      anchor = stamp;
+      return d;
+    };
+    bd.batch_s.Add(stage(t.quorum));
+    bd.cert_s.Add(stage(t.cert));
+    bd.commit_s.Add(stage(t.commit));
+    bd.exec_s.Add(stage(t.exec));
+    bd.e2e_s.Add(ToSeconds(anchor - t.submit));
+  }
+  return bd;
+}
+
+// ------------------------------------------------------- Chrome trace export
+
+namespace {
+
+// Event pids: 0 = cluster-wide tracks, 1+v = validator v's protocol tracks,
+// 1000+v = sampled-transaction lanes of clients submitting to validator v.
+constexpr uint32_t kClusterPid = 0;
+constexpr uint32_t kValidatorPidBase = 1;
+constexpr uint32_t kTxPidBase = 1000;
+// Tids within a validator pid: 1 = primary, 10+w = worker w.
+constexpr uint32_t kPrimaryTid = 1;
+constexpr uint32_t kWorkerTidBase = 10;
+
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::FILE* f) : f_(f) { std::fprintf(f_, "{\"traceEvents\":[\n"); }
+
+  void Meta(uint32_t pid, const char* what, const std::string& name) {
+    Begin();
+    std::fprintf(f_, "{\"ph\":\"M\",\"pid\":%u,\"tid\":0,\"name\":\"%s\",\"args\":{\"name\":\"%s\"}}",
+                 pid, what, name.c_str());
+  }
+
+  void Span(uint32_t pid, uint64_t tid, const std::string& name, TimePoint start, TimePoint end) {
+    if (start == Tracer::kUnset || end == Tracer::kUnset || end < start) {
+      return;
+    }
+    Begin();
+    std::fprintf(
+        f_,
+        "{\"ph\":\"X\",\"pid\":%u,\"tid\":%llu,\"name\":\"%s\",\"ts\":%lld,\"dur\":%lld}", pid,
+        static_cast<unsigned long long>(tid), name.c_str(), static_cast<long long>(start),
+        static_cast<long long>(std::max<TimeDelta>(end - start, 1)));
+  }
+
+  void Instant(uint32_t pid, uint64_t tid, const std::string& name, TimePoint at) {
+    if (at == Tracer::kUnset) {
+      return;
+    }
+    Begin();
+    std::fprintf(f_,
+                 "{\"ph\":\"i\",\"pid\":%u,\"tid\":%llu,\"name\":\"%s\",\"ts\":%lld,\"s\":\"t\"}",
+                 pid, static_cast<unsigned long long>(tid), name.c_str(),
+                 static_cast<long long>(at));
+  }
+
+  // Nestable async events ("b"/"e"): spans that may overlap others on the
+  // same thread track (pipelined header rounds and in-flight batches do).
+  // Pairs sharing a (cat, id) nest.
+  void AsyncBegin(uint32_t pid, uint64_t tid, const char* cat, uint64_t id,
+                  const std::string& name, TimePoint at) {
+    AsyncEvent('b', pid, tid, cat, id, name, at);
+  }
+  void AsyncEnd(uint32_t pid, uint64_t tid, const char* cat, uint64_t id, const std::string& name,
+                TimePoint at) {
+    AsyncEvent('e', pid, tid, cat, id, name, at);
+  }
+
+  void Counter(uint32_t pid, const std::string& name, TimePoint at, double value) {
+    Begin();
+    std::fprintf(
+        f_, "{\"ph\":\"C\",\"pid\":%u,\"tid\":0,\"name\":\"%s\",\"ts\":%lld,\"args\":{\"value\":%g}}",
+        pid, name.c_str(), static_cast<long long>(at), value);
+  }
+
+  void Finish() { std::fprintf(f_, "\n],\"displayTimeUnit\":\"ms\"}\n"); }
+
+ private:
+  void Begin() {
+    if (!first_) {
+      std::fprintf(f_, ",\n");
+    }
+    first_ = false;
+  }
+
+  void AsyncEvent(char ph, uint32_t pid, uint64_t tid, const char* cat, uint64_t id,
+                  const std::string& name, TimePoint at) {
+    if (at == Tracer::kUnset) {
+      return;
+    }
+    Begin();
+    std::fprintf(f_,
+                 "{\"ph\":\"%c\",\"pid\":%u,\"tid\":%llu,\"cat\":\"%s\",\"id\":\"0x%llx\","
+                 "\"name\":\"%s\",\"ts\":%lld}",
+                 ph, pid, static_cast<unsigned long long>(tid), cat,
+                 static_cast<unsigned long long>(id), name.c_str(), static_cast<long long>(at));
+  }
+
+  std::FILE* f_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  TraceWriter w(f);
+
+  // Process / thread naming. Collect the validator and tx pids in use.
+  std::map<uint32_t, bool> validator_pids;  // validator id -> has worker tracks.
+  for (const auto& [digest, h] : headers_) {
+    validator_pids.emplace(h.author, false);
+  }
+  for (const auto& [digest, b] : batches_) {
+    validator_pids[b.validator] = true;
+  }
+  w.Meta(kClusterPid, "process_name", "cluster");
+  for (const auto& [v, has_workers] : validator_pids) {
+    w.Meta(kValidatorPidBase + v, "process_name", "validator-" + std::to_string(v));
+  }
+  std::map<uint32_t, uint64_t> tx_pids_seen;
+  for (const auto& [id, t] : txs_) {
+    if (t.target != UINT32_MAX && t.submit != kUnset) {
+      ++tx_pids_seen[t.target];
+    }
+  }
+  for (const auto& [v, count] : tx_pids_seen) {
+    w.Meta(kTxPidBase + v, "process_name", "client-txs@validator-" + std::to_string(v));
+  }
+
+  // Per-batch dissemination spans on the sealing worker's track. Several
+  // batches are in flight at once (the worker seals the next batch before
+  // the previous one is quorum-acked), so these are async pairs, not "X".
+  uint64_t async_id = 0;
+  for (const auto& [digest, b] : batches_) {
+    ++async_id;
+    if (b.sealed == kUnset || b.quorum == kUnset || b.quorum < b.sealed) {
+      continue;
+    }
+    w.AsyncBegin(kValidatorPidBase + b.validator, kWorkerTidBase + b.worker, "batch", async_id,
+                 "batch " + DigestShort(digest), b.sealed);
+    w.AsyncEnd(kValidatorPidBase + b.validator, kWorkerTidBase + b.worker, "batch", async_id,
+               "batch " + DigestShort(digest), b.quorum);
+  }
+
+  // Per-header lifetimes on the author primary's track: certify
+  // (propose->cert) nested in the full header lifetime (propose->commit at
+  // the author). Headers are pipelined — round r commits only after rounds
+  // r+1, r+2 are already proposed — so these overlap on the same track and
+  // must be nestable async pairs ("b"/"e" sharing an id), not "X" spans.
+  for (const auto& [digest, h] : headers_) {
+    ++async_id;
+    if (h.proposed == kUnset) {
+      continue;
+    }
+    TimePoint commit = h.author_committed != kUnset ? h.author_committed : h.committed;
+    TimePoint end = commit != kUnset ? commit : h.cert;
+    if (end == kUnset || end <= h.proposed) {
+      end = h.proposed + 1;
+    }
+    uint32_t pid = kValidatorPidBase + h.author;
+    std::string label = "header r" + std::to_string(h.round) + " " + DigestShort(digest);
+    w.AsyncBegin(pid, kPrimaryTid, "header", async_id, label, h.proposed);
+    if (h.cert != kUnset && h.cert >= h.proposed && h.cert <= end) {
+      w.AsyncBegin(pid, kPrimaryTid, "header", async_id, "certify", h.proposed);
+      w.AsyncEnd(pid, kPrimaryTid, "header", async_id, "certify", h.cert);
+    }
+    w.AsyncEnd(pid, kPrimaryTid, "header", async_id, label, end);
+  }
+
+  // Per-transaction lifecycle lanes: one tid per sampled transaction, outer
+  // "tx" span tiled by the telescoping stage spans.
+  for (const auto& [id, t] : txs_) {
+    if (t.submit == kUnset || t.target == UINT32_MAX) {
+      continue;
+    }
+    uint32_t pid = kTxPidBase + t.target;
+    TimePoint done = t.exec != kUnset ? t.exec : t.commit;
+    if (done == kUnset) {
+      w.Instant(pid, id, t.abandoned ? "tx-abandoned" : "tx-incomplete", t.submit);
+      continue;
+    }
+    w.Span(pid, id, "tx " + std::to_string(id), t.submit, done);
+    TimePoint anchor = t.submit;
+    auto stage = [&](const char* name, TimePoint stamp) {
+      if (stamp == kUnset || stamp < anchor) {
+        return;
+      }
+      w.Span(pid, id, name, anchor, stamp);
+      anchor = stamp;
+    };
+    stage("batch", t.quorum);
+    stage("cert", t.cert);
+    stage("commit", t.commit);
+    stage("exec", t.exec);
+    if (t.resubmits > 0) {
+      w.Instant(pid, id, "resubmitted", t.submit);
+    }
+  }
+
+  // Gauge counter tracks.
+  for (const Gauge& g : gauges_) {
+    for (const auto& [at, value] : g.samples) {
+      w.Counter(g.pid, g.name, at, value);
+    }
+  }
+
+  w.Finish();
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace nt

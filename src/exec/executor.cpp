@@ -27,6 +27,9 @@ void Executor::Drain() {
       }
     }
     ++executed_headers_;
+    if (tracer_ != nullptr && scheduler_ != nullptr) {
+      tracer_->OnExecuted(validator_, header->ComputeDigest(), scheduler_->now());
+    }
     queue_.pop_front();
   }
 }

@@ -11,7 +11,9 @@
 #include <functional>
 #include <memory>
 
+#include "src/common/trace.h"
 #include "src/exec/state_machine.h"
+#include "src/sim/scheduler.h"
 #include "src/types/types.h"
 
 namespace nt {
@@ -34,6 +36,14 @@ class Executor {
   // Re-attempt execution after new batch data arrived.
   void RetryPending() { Drain(); }
 
+  // Attaches the cluster's tracer; the Executor has no network handle, so it
+  // also needs the clock and the hosting validator's id for apply stamps.
+  void set_tracer(Tracer* tracer, ValidatorId validator, Scheduler* scheduler) {
+    tracer_ = tracer;
+    validator_ = validator;
+    scheduler_ = scheduler;
+  }
+
   uint64_t executed_headers() const { return executed_headers_; }
   uint64_t executed_txs() const { return state_machine_->applied() + state_machine_->rejected(); }
   size_t pending_headers() const { return queue_.size(); }
@@ -45,6 +55,9 @@ class Executor {
   BatchSource source_;
   std::deque<std::shared_ptr<const BlockHeader>> queue_;
   uint64_t executed_headers_ = 0;
+  Tracer* tracer_ = nullptr;
+  ValidatorId validator_ = 0;
+  Scheduler* scheduler_ = nullptr;
 };
 
 }  // namespace nt

@@ -74,6 +74,7 @@ void HotStuff::OnTimeout(View view) {
   }
   ++timeouts_fired_;
   ++consecutive_timeouts_;
+  NT_TRACE(tracer_, IncrCounter("hotstuff/timeouts"));
   Signature sig = signer_->Sign(TimeoutCert::VotePreimage(view));
   auto msg = std::make_shared<MsgHsTimeout>(view, id_, sig, high_qc_);
   Broadcast(msg);
@@ -322,6 +323,7 @@ void HotStuff::CommitUpTo(const Digest& digest) {
     committed_.insert(d);
     last_committed_ = d;
     ++committed_count_;
+    NT_TRACE(tracer_, IncrCounter("hotstuff/committed_blocks"));
     provider_->OnCommit(b->payload, b->author);
     if (on_commit_) {
       on_commit_(*b, b->view);

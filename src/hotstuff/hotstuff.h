@@ -21,6 +21,7 @@
 #include <set>
 #include <vector>
 
+#include "src/common/trace.h"
 #include "src/hotstuff/messages.h"
 #include "src/hotstuff/payload.h"
 #include "src/net/network.h"
@@ -46,6 +47,9 @@ class HotStuff : public NetNode {
 
   void set_net_id(uint32_t id) { net_id_ = id; }
   void set_peers(std::vector<uint32_t> consensus_net_ids) { peers_ = std::move(consensus_net_ids); }
+
+  // Attaches the cluster's tracer (nullptr = tracing off, the default).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   // Fired per committed block, in total order.
   using CommitHook = std::function<void(const HsBlock& block, View view)>;
@@ -104,6 +108,7 @@ class HotStuff : public NetNode {
   Signer* signer_;
   PayloadProvider* provider_;
   uint32_t net_id_ = 0;
+  Tracer* tracer_ = nullptr;
   std::vector<uint32_t> peers_;  // Indexed by validator id (own id included).
 
   View view_ = 1;

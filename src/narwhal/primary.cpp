@@ -90,6 +90,8 @@ void Primary::ProposeNow() {
   header->author_sig = signer_->Sign(digest);
   proposed_current_round_ = true;
   ++headers_proposed_;
+  NT_TRACE(tracer_, OnHeaderProposed(id_, digest, header->round, header->batches,
+                                     network_->scheduler()->now()));
 
   std::vector<BatchRef> refs = header->batches;
   for (const BatchRef& ref : refs) {
@@ -114,7 +116,7 @@ void Primary::ProposeNow() {
   }
   network_->scheduler()->ScheduleAfter(config_.header_retry_delay,
                                        [this, digest, r = header->round] {
-                                         RetryBroadcast(digest, r);
+                                         RetryBroadcast(digest, r, 0);
                                        });
   // n = 1 degenerate committees certify immediately.
   if (proposal.votes.size() >= committee_.quorum_threshold()) {
@@ -122,25 +124,32 @@ void Primary::ProposeNow() {
   }
 }
 
-void Primary::RetryBroadcast(Digest digest, Round round) {
+void Primary::RetryBroadcast(Digest digest, Round round, uint32_t attempt) {
   // The paper's §6 re-transmission: stored messages are re-sent until "no
   // more needed to make progress" — here, until the round advances past the
   // proposal's round, at which point the DAG no longer needs it.
   if (round_ > round) {
     return;
   }
-  uint32_t retries = 0;
+  // `attempt` is the authoritative backoff counter: unlike Proposal::retries,
+  // it survives FormCertificate erasing the proposal, so the certificate
+  // re-share branch backs off exponentially instead of re-flooding all peers
+  // every header_retry_delay for the whole stall.
+  uint32_t retries = attempt + 1;
   auto it = proposals_.find(digest);
   if (it != proposals_.end()) {
     // Still uncertified: resend the header to validators that have not voted.
     Proposal& proposal = it->second;
-    retries = ++proposal.retries;
+    proposal.retries = retries;
     auto msg = std::make_shared<MsgHeader>(proposal.header, digest);
+    uint64_t resent = 0;
     for (ValidatorId v = 0; v < committee_.size(); ++v) {
       if (v != id_ && proposal.votes.count(v) == 0) {
         network_->Send(net_id_, topology_->primary_of[v], msg);
+        ++resent;
       }
     }
+    NT_TRACE(tracer_, IncrRetryRound("header_retry", digest, resent));
   } else if (const Certificate* cert = dag_.GetCertByDigest(digest)) {
     // Certified but the round is stuck: some peers may have missed the
     // certificate; re-share it so the threshold clock can tick.
@@ -150,12 +159,13 @@ void Primary::RetryBroadcast(Digest digest, Round round) {
         network_->Send(net_id_, topology_->primary_of[v], msg);
       }
     }
+    NT_TRACE(tracer_, IncrRetryRound("cert_reshare", digest, committee_.size() - 1));
   } else {
     return;  // GC'd: no longer needed.
   }
   TimeDelta delay = config_.header_retry_delay << std::min(retries, 5u);
   network_->scheduler()->ScheduleAfter(
-      delay, [this, digest, round] { RetryBroadcast(digest, round); });
+      delay, [this, digest, round, retries] { RetryBroadcast(digest, round, retries); });
 }
 
 // ------------------------------------------------------------------- voting
@@ -301,6 +311,7 @@ void Primary::FormCertificate(Proposal& proposal) {
   }
   ++certs_formed_;
   Digest digest = proposal.digest;  // Copy: erasing invalidates `proposal`.
+  NT_TRACE(tracer_, OnCertFormed(id_, digest, cert.round, network_->scheduler()->now()));
   proposals_.erase(digest);
 
   AcceptCertificate(cert, /*request_header_if_missing=*/false);
@@ -441,6 +452,7 @@ void Primary::SetGcRound(Round gc_round) {
 }
 
 void Primary::NotifyCommitted(const BlockHeader& header) {
+  NT_TRACE(tracer_, OnHeaderCommitted(id_, header.ComputeDigest(), network_->scheduler()->now()));
   for (const BatchRef& ref : header.batches) {
     committed_batches_.insert(ref.digest);
   }

@@ -44,6 +44,9 @@ class Primary : public NetNode {
 
   void set_net_id(uint32_t id) { net_id_ = id; }
 
+  // Attaches the cluster's tracer (nullptr = tracing off, the default).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   // --- consensus-layer interface ----------------------------------------------
 
   // Fired whenever a new certificate enters the local DAG (own or remote).
@@ -121,7 +124,10 @@ class Primary : public NetNode {
   void TryAdvanceRound();
   void SchedulePropose();
   void ProposeNow();
-  void RetryBroadcast(Digest digest, Round round);
+  // `attempt` counts previous invocations for this proposal; it is carried
+  // through the rescheduled lambda so the certified (cert re-share) path —
+  // whose Proposal entry has been erased — still backs off exponentially.
+  void RetryBroadcast(Digest digest, Round round, uint32_t attempt);
 
   // Header validation & voting.
   void HandleHeader(uint32_t from, const MsgHeader& msg);
@@ -147,6 +153,7 @@ class Primary : public NetNode {
   const Topology* topology_;
   Signer* signer_;
   uint32_t net_id_ = 0;
+  Tracer* tracer_ = nullptr;
 
   Dag dag_;
   VerifiedCertCache cert_cache_;

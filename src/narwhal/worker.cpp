@@ -109,6 +109,9 @@ void Worker::SealBatch() {
   info.samples = batch->samples;
   directory_->Register(digest, std::move(info));
 
+  NT_TRACE(tracer_, OnBatchSealed(validator_, worker_id_, digest, batch->samples,
+                                  network_->scheduler()->now()));
+
   StoreBatch(batch, digest);
   DisseminateBatch(batch, digest);
 }
@@ -151,12 +154,15 @@ void Worker::RetryBatch(const Digest& digest) {
   }
   InFlight& flight = it->second;
   auto msg = std::make_shared<MsgBatch>(flight.batch, digest);
+  uint64_t resent = 0;
   for (ValidatorId v = 0; v < committee_.size(); ++v) {
     if (flight.ackers.count(v) != 0) {
       continue;
     }
     network_->Send(net_id_, topology_->worker_of[v][worker_id_], msg);
+    ++resent;
   }
+  NT_TRACE(tracer_, IncrRetryRound("batch_retry", digest, resent));
   // Exponential backoff: under asynchrony or crashes, re-transmission adapts
   // instead of flooding (TCP-like behaviour, paper §4.1).
   flight.attempts = std::min(flight.attempts + 1, 6u);
@@ -204,6 +210,7 @@ void Worker::OnMessage(uint32_t from, const MessagePtr& msg) {
       ref.payload_bytes = flight.batch->payload_bytes;
       in_flight_.erase(it);
       ++batches_acked_;
+      NT_TRACE(tracer_, OnBatchQuorum(validator_, ack->digest, network_->scheduler()->now()));
       network_->Send(net_id_, topology_->primary_of[validator_],
                      std::make_shared<MsgBatchReady>(ref));
     }

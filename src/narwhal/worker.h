@@ -13,6 +13,7 @@
 #include <set>
 #include <vector>
 
+#include "src/common/trace.h"
 #include "src/narwhal/config.h"
 #include "src/net/network.h"
 #include "src/store/store.h"
@@ -77,6 +78,9 @@ class Worker : public NetNode {
   // Registers this worker's own net id once known.
   void set_net_id(uint32_t id) { net_id_ = id; }
 
+  // Attaches the cluster's tracer (nullptr = tracing off, the default).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   // --- client interface -------------------------------------------------------
   // Submits a transaction of `size_bytes`. If `sample` is set, its commit
   // latency will be measured. (Clients are collocated load generators; the
@@ -121,6 +125,7 @@ class Worker : public NetNode {
   std::unique_ptr<Store> store_;
   BatchDirectory* directory_;
   uint32_t net_id_ = 0;
+  Tracer* tracer_ = nullptr;
 
   // Pending (unsealed) payload.
   Batch pending_;

@@ -57,6 +57,7 @@ void Network::Send(uint32_t src, uint32_t dst, MessagePtr msg) {
     TimePoint tx_start = std::max(now, src_machine.egress_free_at);
     TimePoint tx_end = tx_start + TransmitTime(wire);
     src_machine.egress_free_at = tx_end;
+    src_machine.egress_busy_us += tx_end - tx_start;
 
     // Propagation, scaled by any asynchrony window active at transmit time.
     double factor = faults_ != nullptr ? faults_->LatencyFactor(tx_start) : 1.0;

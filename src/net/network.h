@@ -93,6 +93,23 @@ class Network {
   };
   const std::map<std::string, TypeStats>& type_stats() const { return type_stats_; }
 
+  // --- tracing gauges -------------------------------------------------------
+  // Outstanding egress-queue backlog of `machine` in microseconds of NIC time
+  // (0 when the NIC is idle at `now`).
+  TimeDelta EgressBacklog(uint32_t machine, TimePoint now) const {
+    auto it = machines_.find(machine);
+    if (it == machines_.end() || it->second.egress_free_at <= now) {
+      return 0;
+    }
+    return it->second.egress_free_at - now;
+  }
+  // Cumulative microseconds machine's NIC egress has spent transmitting.
+  TimeDelta EgressBusyUs(uint32_t machine) const {
+    auto it = machines_.find(machine);
+    return it == machines_.end() ? 0 : it->second.egress_busy_us;
+  }
+  uint32_t machine_count() const { return next_machine_; }
+
  private:
   struct NodeSlot {
     NetNode* node;
@@ -103,6 +120,7 @@ class Network {
     TimePoint egress_free_at = 0;
     TimePoint ingress_free_at = 0;
     TimePoint processing_free_at = 0;
+    TimeDelta egress_busy_us = 0;  // Total NIC transmit time accumulated.
   };
 
   TimeDelta TransmitTime(size_t bytes) const {

@@ -30,6 +30,7 @@ void LoadGenerator::Tick() {
       if (options_.resubmit_timeout > 0) {
         pending_.push_back(PendingTx{id, now, now, 1, validator_});
       }
+      NT_TRACE(cluster_->tracer(), OnTxSubmit(id, validator_, now));
     }
     --until_sample_;
     cluster_->SubmitTx(validator_, worker_, options_.tx_size, sample);
@@ -43,14 +44,37 @@ void LoadGenerator::Tick() {
 
 void LoadGenerator::CheckResubmits(TimePoint now) {
   const Metrics& metrics = cluster_->metrics();
+  const uint32_t num_validators = cluster_->config().num_validators;
   for (auto it = pending_.begin(); it != pending_.end();) {
-    if (metrics.IsSampleCommitted(it->tx_id) || it->attempts > options_.max_resubmits) {
+    if (metrics.IsSampleCommitted(it->tx_id)) {
+      it = pending_.erase(it);
+      continue;
+    }
+    if (it->attempts > options_.max_resubmits) {
+      // The client gives up on this transaction. It was counted as submitted
+      // but will never commit; report it so loss accounting (Fig. 8) sees it
+      // instead of it silently vanishing.
+      ++abandoned_;
+      cluster_->metrics().AddAbandonedTxs(1);
+      NT_TRACE(cluster_->tracer(), OnTxAbandoned(it->tx_id, now));
       it = pending_.erase(it);
       continue;
     }
     if (now - it->last_attempt >= options_.resubmit_timeout) {
       if (options_.failover) {
-        it->target = (it->target + 1) % cluster_->config().num_validators;
+        // Rotate to the next validator the network still reports alive —
+        // failing over onto a crashed entry point would burn a whole
+        // resubmit_timeout for nothing. If every other validator is down,
+        // stay where we are.
+        ValidatorId next = it->target;
+        for (uint32_t step = 1; step <= num_validators; ++step) {
+          ValidatorId candidate = (it->target + step) % num_validators;
+          if (!cluster_->IsValidatorCrashed(candidate)) {
+            next = candidate;
+            break;
+          }
+        }
+        it->target = next;
       }
       // Keep the original submit time: latency is measured from the client's
       // first attempt, as the paper's clients would experience it.
@@ -59,6 +83,7 @@ void LoadGenerator::CheckResubmits(TimePoint now) {
       it->last_attempt = now;
       ++it->attempts;
       ++resubmitted_;
+      NT_TRACE(cluster_->tracer(), OnTxResubmit(it->tx_id, it->target, it->attempts, now));
     }
     ++it;
   }

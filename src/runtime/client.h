@@ -36,6 +36,8 @@ class LoadGenerator {
 
   uint64_t submitted_txs() const { return submitted_; }
   uint64_t resubmitted_txs() const { return resubmitted_; }
+  // Tracked transactions this client gave up on (max_resubmits exhausted).
+  uint64_t abandoned_txs() const { return abandoned_; }
 
  private:
   struct PendingTx {
@@ -56,6 +58,7 @@ class LoadGenerator {
   double carry_ = 0;  // Fractional transactions carried across ticks.
   uint64_t submitted_ = 0;
   uint64_t resubmitted_ = 0;
+  uint64_t abandoned_ = 0;
   uint64_t until_sample_ = 0;
   std::vector<PendingTx> pending_;  // Tracked (sampled) not-yet-committed txs.
 

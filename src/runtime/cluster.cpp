@@ -73,6 +73,99 @@ Cluster::Cluster(const ClusterConfig& config)
       BuildHotStuff();
       break;
   }
+  if (config_.trace) {
+    AttachTracer();
+  }
+}
+
+void Cluster::AttachTracer() {
+  tracer_ = std::make_unique<Tracer>();
+  metrics_.set_tracer(tracer_.get());
+  for (auto& primary : primaries_) {
+    primary->set_tracer(tracer_.get());
+  }
+  for (auto& validator_workers : workers_) {
+    for (auto& worker : validator_workers) {
+      worker->set_tracer(tracer_.get());
+    }
+  }
+  for (auto& tusk : tusks_) {
+    tusk->set_tracer(tracer_.get());
+  }
+  for (auto& hs : hs_nodes_) {
+    hs->set_tracer(tracer_.get());
+  }
+  RegisterTraceGauges();
+}
+
+void Cluster::RegisterTraceGauges() {
+  Tracer* t = tracer_.get();
+  t->RegisterGauge("scheduler/pending_events", 0, [this](TimePoint) {
+    return static_cast<double>(scheduler_.pending_events());
+  });
+  t->RegisterGauge("cert_cache/hit_rate", 0,
+                   [this](TimePoint) { return metrics_.CertCacheHitRate(); });
+  for (ValidatorId v = 0; v < config_.num_validators; ++v) {
+    uint32_t node_id;
+    if (!topology_.primary_of.empty()) {
+      node_id = topology_.primary_of[v];
+    } else if (!consensus_net_ids_.empty()) {
+      node_id = consensus_net_ids_[v];
+    } else {
+      continue;
+    }
+    const uint32_t machine = network_->machine_of(node_id);
+    const std::string tag = "v" + std::to_string(v);
+    t->RegisterGauge(tag + "/egress_backlog_us", v + 1, [this, machine](TimePoint now) {
+      return static_cast<double>(network_->EgressBacklog(machine, now));
+    });
+    // NIC utilization over the sampling interval: fraction of wall time the
+    // egress link spent transmitting since the previous sample.
+    t->RegisterGauge(tag + "/egress_utilization", v + 1,
+                     [this, machine, prev_busy = TimeDelta{0},
+                      prev_at = TimePoint{0}](TimePoint now) mutable {
+                       TimeDelta busy = network_->EgressBusyUs(machine);
+                       double util = now > prev_at ? static_cast<double>(busy - prev_busy) /
+                                                         static_cast<double>(now - prev_at)
+                                                   : 0.0;
+                       prev_busy = busy;
+                       prev_at = now;
+                       return util;
+                     });
+    if (!primaries_.empty()) {
+      Primary* primary = primaries_[v].get();
+      t->RegisterGauge(tag + "/dag_round", v + 1, [primary](TimePoint) {
+        return static_cast<double>(primary->round());
+      });
+      t->RegisterGauge(tag + "/dag_certs", v + 1, [primary](TimePoint) {
+        return static_cast<double>(primary->dag().TotalCertificates());
+      });
+    }
+  }
+}
+
+void Cluster::StartGaugeSampling(TimePoint until) {
+  if (tracer_ == nullptr || config_.trace_gauge_interval <= 0) {
+    return;
+  }
+  scheduler_.ScheduleAfter(config_.trace_gauge_interval, [this, until] {
+    TimePoint now = scheduler_.now();
+    if (now >= until) {
+      return;  // Bounded: no perpetual rescheduling past the horizon.
+    }
+    tracer_->SampleGauges(now);
+    StartGaugeSampling(until);
+  });
+}
+
+bool Cluster::IsValidatorCrashed(ValidatorId v) const {
+  if (!topology_.primary_of.empty()) {
+    return network_->IsCrashed(topology_.primary_of[v]);
+  }
+  if (!consensus_net_ids_.empty()) {
+    return network_->IsCrashed(consensus_net_ids_[v]);
+  }
+  return false;
 }
 
 Cluster::~Cluster() = default;

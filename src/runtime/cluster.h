@@ -60,6 +60,12 @@ struct ClusterConfig {
   // the paper's artifact, §6). Empty = in-memory stores.
   std::string persist_dir;
 
+  // Lifecycle tracing (src/common/trace.h): when set, the cluster owns a
+  // Tracer, wires emit points through every node, and samples per-node
+  // gauges every trace_gauge_interval once StartGaugeSampling is called.
+  bool trace = false;
+  TimeDelta trace_gauge_interval = Millis(100);
+
   // Baseline/batched parameters. Baseline proposals carry raw transactions
   // up to 500KB. Batched proposals follow the paper's 1KB consensus block:
   // ~32 batch digests per proposal — the bound that throttles Batched-HS
@@ -99,6 +105,16 @@ class Cluster {
   const Committee& committee() const { return committee_; }
   BatchDirectory& directory() { return directory_; }
 
+  // The cluster's tracer; nullptr when config.trace is false.
+  Tracer* tracer() { return tracer_.get(); }
+  // True if validator `v` is currently crashed (any of its nodes; a crash
+  // takes the validator's machines down together).
+  bool IsValidatorCrashed(ValidatorId v) const;
+  // Samples registered gauges every config.trace_gauge_interval until
+  // `until` (exclusive). No-op without a tracer. Bounded so RunUntilIdle
+  // style tests terminate.
+  void StartGaugeSampling(TimePoint until);
+
   Primary* primary(ValidatorId v) { return primaries_.empty() ? nullptr : primaries_[v].get(); }
   Worker* worker(ValidatorId v, WorkerId w) {
     return workers_.empty() ? nullptr : workers_[v][w].get();
@@ -114,12 +130,17 @@ class Cluster {
   void BuildNarwhal();
   void BuildHotStuff();
   void WireTuskMetrics();
+  void AttachTracer();
+  void RegisterTraceGauges();
 
   ClusterConfig config_;
   Scheduler scheduler_;
   std::unique_ptr<LatencyModel> latency_;
   FaultController faults_;
   std::unique_ptr<Network> network_;
+  // Declared before metrics_ and the node containers: they hold raw Tracer
+  // pointers, so the tracer must be destroyed last.
+  std::unique_ptr<Tracer> tracer_;
   Metrics metrics_;
   Committee committee_;
   BatchDirectory directory_;

@@ -12,6 +12,8 @@ ExperimentResult RunExperiment(const ExperimentParams& params) {
   config.workers_per_validator = params.workers;
   config.collocate = params.collocate;
   config.seed = params.seed;
+  const bool trace = params.trace || !params.trace_path.empty();
+  config.trace = config.trace || trace;
 
   Cluster cluster(config);
 
@@ -41,6 +43,8 @@ ExperimentResult RunExperiment(const ExperimentParams& params) {
       options.tx_size = params.tx_size;
       options.sample_rate = config.narwhal.tx_sample_rate;
       options.stop_at = params.duration;
+      options.resubmit_timeout = params.resubmit_timeout;
+      options.max_resubmits = params.max_resubmits;
       clients.push_back(std::make_unique<LoadGenerator>(&cluster, v, w, options));
     }
   }
@@ -49,6 +53,7 @@ ExperimentResult RunExperiment(const ExperimentParams& params) {
   for (auto& client : clients) {
     client->Start();
   }
+  cluster.StartGaugeSampling(params.duration);
   cluster.scheduler().RunUntil(params.duration);
 
   ExperimentResult result;
@@ -67,6 +72,17 @@ ExperimentResult RunExperiment(const ExperimentParams& params) {
   result.sampled_txs = lat.count();
   result.cert_cache_hits = cluster.metrics().cert_cache_hits();
   result.cert_cache_misses = cluster.metrics().cert_cache_misses();
+  result.abandoned_txs = cluster.metrics().abandoned_txs();
+  for (const auto& client : clients) {
+    result.resubmitted_txs += client->resubmitted_txs();
+  }
+  if (Tracer* tracer = cluster.tracer()) {
+    result.traced = true;
+    result.breakdown = tracer->ComputeBreakdown(params.warmup, params.duration);
+    if (!params.trace_path.empty()) {
+      result.trace_written = tracer->WriteChromeTrace(params.trace_path);
+    }
+  }
   return result;
 }
 
@@ -82,6 +98,25 @@ void PrintResultRow(const ExperimentResult& r) {
               r.p50_latency_s, r.p99_latency_s, static_cast<unsigned long long>(r.committed_txs),
               static_cast<unsigned long long>(r.cert_cache_hits),
               static_cast<unsigned long long>(r.cert_cache_misses));
+  std::fflush(stdout);
+}
+
+void PrintLatencyBreakdown(const ExperimentResult& r) {
+  if (!r.traced) {
+    return;
+  }
+  std::printf("latency breakdown (%llu txs, %llu incomplete):\n",
+              static_cast<unsigned long long>(r.breakdown.completed_txs),
+              static_cast<unsigned long long>(r.breakdown.incomplete_txs));
+  std::printf("  %-8s %9s %9s %9s\n", "stage", "mean_s", "p50_s", "p99_s");
+  auto row = [](const char* name, const SampleStats& s) {
+    std::printf("  %-8s %9.3f %9.3f %9.3f\n", name, s.Mean(), s.Percentile(50), s.Percentile(99));
+  };
+  row("batch", r.breakdown.batch_s);
+  row("cert", r.breakdown.cert_s);
+  row("commit", r.breakdown.commit_s);
+  row("exec", r.breakdown.exec_s);
+  row("e2e", r.breakdown.e2e_s);
   std::fflush(stdout);
 }
 

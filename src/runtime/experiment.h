@@ -39,6 +39,17 @@ struct ExperimentParams {
   };
   std::vector<AsyncWindow> async_windows;
 
+  // Client re-submission (0 = disabled; see LoadGenerator::Options).
+  TimeDelta resubmit_timeout = 0;
+  uint32_t max_resubmits = 8;
+
+  // Lifecycle tracing: `trace` enables the Tracer (per-stage latency
+  // breakdown in the result); a non-empty `trace_path` additionally writes
+  // a Chrome trace-event JSON (chrome://tracing / Perfetto) and implies
+  // `trace`.
+  bool trace = false;
+  std::string trace_path;
+
   // Forwarded knobs.
   ClusterConfig cluster;  // system/nodes/workers/seed fields are overwritten.
 };
@@ -61,6 +72,16 @@ struct ExperimentResult {
   // every node's per-validator cache (see Metrics::cert_cache_hits).
   uint64_t cert_cache_hits = 0;
   uint64_t cert_cache_misses = 0;
+
+  // Client-side resubmission accounting (satellite of Fig. 8 loss runs).
+  uint64_t resubmitted_txs = 0;
+  uint64_t abandoned_txs = 0;
+
+  // Per-stage latency breakdown; populated only when params.trace was set.
+  bool traced = false;
+  LatencyBreakdown breakdown;
+  // True if params.trace_path was written successfully.
+  bool trace_written = false;
 };
 
 ExperimentResult RunExperiment(const ExperimentParams& params);
@@ -68,6 +89,9 @@ ExperimentResult RunExperiment(const ExperimentParams& params);
 // Prints a fixed-width results-table row (header printed with `header`).
 void PrintResultHeader();
 void PrintResultRow(const ExperimentResult& result);
+
+// Prints the per-stage latency breakdown table (no-op unless result.traced).
+void PrintLatencyBreakdown(const ExperimentResult& result);
 
 }  // namespace nt
 

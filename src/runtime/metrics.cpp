@@ -39,6 +39,13 @@ void Metrics::OnCommit(ValidatorId at, ValidatorId latency_owner, uint64_t num_t
   for (const TxSample& s : samples) {
     committed_samples_.insert(s.tx_id);
   }
+  if (at == latency_owner) {
+    // Stamp traced commits here — at the same validator latency_ samples
+    // from — so the tracer's per-transaction e2e equals the latency_ sample
+    // for the same tx. Unconditional on the window: ComputeBreakdown applies
+    // the identical window filter itself.
+    NT_TRACE(tracer_, OnSamplesCommitted(samples, now));
+  }
   if (now < window_start_ || now >= window_end_) {
     return;
   }

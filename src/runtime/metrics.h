@@ -11,6 +11,7 @@
 
 #include "src/common/stats.h"
 #include "src/common/time.h"
+#include "src/common/trace.h"
 #include "src/sim/scheduler.h"
 #include "src/types/cert_cache.h"
 #include "src/types/types.h"
@@ -25,6 +26,11 @@ class Metrics {
   // Throughput counts commits observed at this validator only (each block is
   // committed by every honest validator; count it once).
   void set_observer(ValidatorId v) { observer_ = v; }
+
+  // Attaches the cluster's tracer: per-transaction commit stamps are emitted
+  // here (at the latency-owner validator, exactly where latency_ samples
+  // come from) so the traced breakdown sums to the measured e2e latency.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   // Measurement window [start, end): commits outside it are ignored
   // (warm-up / cool-down).
@@ -43,6 +49,11 @@ class Metrics {
   uint64_t committed_txs() const { return committed_txs_; }
   uint64_t committed_bytes() const { return committed_bytes_; }
   const SampleStats& latency_seconds() const { return latency_; }
+
+  // Transactions whose clients gave up after max_resubmits (satellite of the
+  // Fig. 8 loss accounting: submitted-but-never-committed must be visible).
+  void AddAbandonedTxs(uint64_t n) { abandoned_txs_ += n; }
+  uint64_t abandoned_txs() const { return abandoned_txs_; }
 
   // Commit feedback for clients (paper §8.4: "Narwhal relies on clients to
   // re-submit a transaction if it is not sequenced in time"): true once any
@@ -89,8 +100,10 @@ class Metrics {
 
   uint64_t committed_txs_ = 0;
   uint64_t committed_bytes_ = 0;
+  uint64_t abandoned_txs_ = 0;
   SampleStats latency_;
   std::set<uint64_t> committed_samples_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace nt

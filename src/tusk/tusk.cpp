@@ -69,6 +69,7 @@ void Tusk::TryCommit() {
       if (wave > last_skip_counted_) {  // Count each wave's skip once.
         ++skipped_leaders_;
         last_skip_counted_ = wave;
+        NT_TRACE(tracer_, IncrCounter("tusk/skipped_leaders"));
       }
       continue;  // Insufficient support; a later wave may order it by path.
     }
@@ -150,6 +151,7 @@ bool Tusk::CommitChain(uint64_t wave, const Certificate& leader) {
     }
   }
   last_committed_wave_ = wave;
+  NT_TRACE(tracer_, IncrCounter("tusk/committed_waves"));
 
   // Advance the garbage-collection horizon relative to the last committed
   // leader round (paper §3.3).

@@ -45,6 +45,10 @@ class Tusk {
   void OnCertificate(const Certificate& cert);
   void OnHeaderStored(const Digest& digest);
 
+  // Attaches the cluster's tracer (counters only; per-header commit stamps
+  // come from Primary::NotifyCommitted).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   uint64_t last_committed_wave() const { return last_committed_wave_; }
   uint64_t committed_headers() const { return committed_count_; }
   uint64_t skipped_leaders() const { return skipped_leaders_; }
@@ -68,6 +72,7 @@ class Tusk {
   const Committee& committee_;
   const ThresholdCoin* coin_;
   Round gc_depth_;
+  Tracer* tracer_ = nullptr;
 
   uint64_t last_committed_wave_ = 0;
   std::set<Digest> committed_;

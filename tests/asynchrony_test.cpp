@@ -4,6 +4,7 @@
 // its entire backlog with the first commit after the network heals.
 #include <gtest/gtest.h>
 
+#include "src/common/trace.h"
 #include "src/runtime/client.h"
 #include "src/runtime/cluster.h"
 
@@ -78,6 +79,47 @@ TEST(AsynchronyTest, NarwhalHsRecoversBacklogAfterHealing) {
   EXPECT_GT(total, static_cast<uint64_t>(input * 0.8));
   EXPECT_GT(total - during, (total * 2) / 5)
       << "expected a large post-healing catch-up burst";
+}
+
+TEST(AsynchronyTest, CertifiedRetransmissionsBackOffExponentially) {
+  // Regression for the certified-path retransmission storm: once a header is
+  // certified, RetryBroadcast switches to re-sharing the certificate, but it
+  // used to re-read the retry count from a proposals_ entry that had already
+  // been erased — every reshare rescheduled itself at the *base* delay,
+  // flooding one certificate per second per stuck proposal for as long as the
+  // round stalled. With the attempt carried through the rescheduled lambda the
+  // reshare cadence is geometric (1, 3, 7, 15, 31 s...), so a ~20 s asynchrony
+  // stall sees at most ~5 reshare rounds per header instead of ~20.
+  ClusterConfig config;
+  config.system = SystemKind::kTusk;
+  config.num_validators = 4;
+  config.seed = 5;
+  config.trace = true;
+  Cluster cluster(config);
+  cluster.faults().AddAsynchronyWindow(Seconds(2), Seconds(22), 30.0);
+  std::vector<std::unique_ptr<LoadGenerator>> clients;
+  LoadGenerator::Options options;
+  options.rate_tps = 500;
+  options.stop_at = Seconds(30);
+  for (ValidatorId v = 0; v < 4; ++v) {
+    clients.push_back(std::make_unique<LoadGenerator>(&cluster, v, 0, options));
+    clients.back()->Start();
+  }
+  cluster.Start();
+  cluster.scheduler().RunUntil(Seconds(30));
+  const Tracer* tracer = cluster.tracer();
+  ASSERT_NE(tracer, nullptr);
+  // The 30x window makes rounds take several seconds, so retries do fire on
+  // both paths (the header may certify between retries — then the certified
+  // branch takes over).
+  EXPECT_GT(tracer->counter("header_retry/rounds") + tracer->counter("cert_reshare/rounds"), 0u)
+      << "a 20 s asynchrony stall must trigger some retransmission";
+  // Geometric bound: fire times 1,3,7,15,31 s past the proposal mean at most
+  // 5 rounds fit in the stall, on either path (the attempt counter is shared).
+  EXPECT_LE(tracer->max_retry_rounds("cert_reshare"), 6u)
+      << "certificate reshares grew linearly (storm) instead of backing off";
+  EXPECT_LE(tracer->max_retry_rounds("header_retry"), 6u)
+      << "header retries grew linearly instead of backing off";
 }
 
 TEST(AsynchronyTest, AgreementHoldsAcrossTheWindow) {

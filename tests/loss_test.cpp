@@ -4,6 +4,7 @@
 // tests inject i.i.d. drop rates and require continued liveness + safety.
 #include <gtest/gtest.h>
 
+#include "src/common/trace.h"
 #include "src/runtime/client.h"
 #include "src/runtime/cluster.h"
 
@@ -22,6 +23,7 @@ LossRun RunTuskWithLoss(double loss_rate, uint64_t seed, TimeDelta duration) {
   config.system = SystemKind::kTusk;
   config.num_validators = 4;
   config.seed = seed;
+  config.trace = true;  // Retransmission-bound assertions use trace counters.
   run.cluster = std::make_unique<Cluster>(config);
   run.cluster->faults().SetLossRate(loss_rate);
   run.sequences.resize(4);
@@ -77,6 +79,21 @@ TEST(LossTest, LossCostsRetransmissions) {
   double lossy_ratio = static_cast<double>(lossy.cluster->network().messages_sent()) /
                        std::max<uint64_t>(1, lossy.cluster->metrics().committed_txs());
   EXPECT_GT(lossy_ratio, clean_ratio);
+}
+
+TEST(LossTest, BatchRetransmissionsBackOffGeometrically) {
+  // Worker batch re-transmission must be geometric in the time a batch stays
+  // unacked, not linear: with batch_retry_delay = 500 ms and the attempt cap
+  // at 6 doublings, the k-th retry round fires at ~0.5 * (2^k - 1) s, so even
+  // a batch stuck for the whole 40 s run sees at most 7 rounds. A linear
+  // (fixed-delay) retry would fire ~80 times.
+  LossRun run = RunTuskWithLoss(0.25, 13, Seconds(40));
+  const Tracer* tracer = run.cluster->tracer();
+  ASSERT_NE(tracer, nullptr);
+  EXPECT_GT(tracer->counter("batch_retry/rounds"), 0u)
+      << "25% loss must force some batch retransmission";
+  EXPECT_LE(tracer->max_retry_rounds("batch_retry"), 7u)
+      << "batch retries grew linearly instead of backing off";
 }
 
 TEST(LossTest, BatchedHsDegradesUnderLoss) {

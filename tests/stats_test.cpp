@@ -53,5 +53,43 @@ TEST(StatsTest, PercentileUnsortedInput) {
   EXPECT_DOUBLE_EQ(s.Percentile(50), 3.0);
 }
 
+TEST(StatsTest, PercentileInterpolatesBetweenRanks) {
+  // Linear interpolation (NumPy default), documented as such: the median of
+  // {1, 2} is 1.5, not a nearest-rank 1 or 2.
+  SampleStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 1.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 1.25);
+}
+
+TEST(StatsTest, MemoizedSortInvalidatedOnAdd) {
+  // The sorted view is cached across Percentile calls and must be rebuilt
+  // after Add — an Add between queries may not return stale answers.
+  SampleStats s;
+  s.Add(10.0);
+  s.Add(20.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 20.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 20.0);  // Served from the memo.
+  s.Add(5.0);                                 // Invalidates.
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 20.0);
+  s.Add(30.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 30.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 15.0);
+}
+
+TEST(StatsTest, IncrementalMinMax) {
+  SampleStats s;
+  s.Add(-2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), -2.5);
+  EXPECT_DOUBLE_EQ(s.Max(), -2.5);
+  s.Add(7.0);
+  s.Add(-9.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Min(), -9.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 7.0);
+}
+
 }  // namespace
 }  // namespace nt

@@ -21,6 +21,9 @@
 //   --batch-kb KB     worker batch size (default 500)
 //   --real-crypto     RFC 8032 Ed25519 signatures (default: FastSigner)
 //   --async-from S --async-to S --async-factor X   asynchrony window
+//   --trace PATH      enable lifecycle tracing; write Chrome trace JSON to
+//                     PATH (open in chrome://tracing or ui.perfetto.dev) and
+//                     print the per-stage latency breakdown
 //   --csv             machine-readable one-line output
 #include <cstdio>
 #include <cstdlib>
@@ -107,6 +110,9 @@ int main(int argc, char** argv) {
       params.async_end = Seconds(std::stoll(next()));
     } else if (flag == "--async-factor") {
       params.async_factor = std::stod(next());
+    } else if (flag == "--trace") {
+      params.trace = true;
+      params.trace_path = next();
     } else if (flag == "--csv") {
       csv = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -125,14 +131,23 @@ int main(int argc, char** argv) {
   AveragedResult result = RunAveraged(params, runs);
   if (csv) {
     std::printf("system,nodes,workers,faults,input_tps,tps,tps_stddev,avg_latency_s,"
-                "latency_stddev_s,p99_latency_s\n");
-    std::printf("%s,%u,%u,%u,%.0f,%.0f,%.0f,%.3f,%.3f,%.3f\n", result.first.system.c_str(),
+                "latency_stddev_s,p99_latency_s,abandoned\n");
+    std::printf("%s,%u,%u,%u,%.0f,%.0f,%.0f,%.3f,%.3f,%.3f,%llu\n", result.first.system.c_str(),
                 result.first.nodes, result.first.workers, result.first.faults,
                 result.first.input_tps, result.tps_mean, result.tps_stddev, result.latency_mean,
-                result.latency_stddev, result.p99_mean);
+                result.latency_stddev, result.p99_mean,
+                static_cast<unsigned long long>(result.first.abandoned_txs));
   } else {
     PrintSweepHeader();
     PrintSweepRow(result);
+  }
+  if (result.first.traced) {
+    PrintLatencyBreakdown(result.first);
+    if (!params.trace_path.empty()) {
+      std::fprintf(stderr, "%s trace to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                   result.first.trace_written ? "wrote" : "FAILED to write",
+                   params.trace_path.c_str());
+    }
   }
   return 0;
 }
