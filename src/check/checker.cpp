@@ -1,0 +1,319 @@
+#include "src/check/checker.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "src/check/oracle.h"
+#include "src/common/seeded_bugs.h"
+#include "src/exec/executor.h"
+#include "src/hotstuff/payload.h"
+
+namespace nt {
+
+namespace {
+
+// Liveness slack: every correct validator must have committed within this
+// long of the end of the run (the run extends ≥ 10 s past GST, and a healthy
+// WAN committee commits a wave roughly every second).
+constexpr TimeDelta kLivenessSlack = Seconds(6);
+
+// Keep failure reports small; one violation is enough to fail and shrink.
+constexpr size_t kMaxViolations = 16;
+
+std::string DigestPrefix(const Digest& d) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  for (size_t i = 0; i < 4; ++i) {
+    out.push_back(hex[d[i] >> 4]);
+    out.push_back(hex[d[i] & 0xf]);
+  }
+  return out;
+}
+
+std::string Account(ValidatorId v) { return "acct-" + std::to_string(v); }
+
+}  // namespace
+
+std::string CheckResult::Summary() const {
+  if (violations.empty()) {
+    return "ok";
+  }
+  std::ostringstream out;
+  std::set<std::string> seen;
+  for (const Violation& v : violations) {
+    if (seen.insert(v.invariant).second) {
+      if (seen.size() > 1) {
+        out << ",";
+      }
+      out << v.invariant;
+    }
+  }
+  return out.str();
+}
+
+CheckResult RunSchedule(const FaultSchedule& schedule) {
+  // Mutation-testing flags travel inside the schedule so repro files are
+  // self-contained; restore on every exit path.
+  seeded_bugs::Scoped bug1(&seeded_bugs::accept_2f_certs, schedule.bug_accept_2f_certs);
+  seeded_bugs::Scoped bug2(&seeded_bugs::skip_tusk_support, schedule.bug_skip_tusk_support);
+
+  ClusterConfig config;
+  config.system = schedule.system;
+  config.num_validators = schedule.validators;
+  config.seed = schedule.seed;
+  Cluster cluster(config);
+  const uint32_t n = schedule.validators;
+  Scheduler& scheduler = cluster.scheduler();
+
+  CheckResult result;
+  auto violation = [&result](const char* invariant, std::string detail) {
+    if (result.violations.size() < kMaxViolations) {
+      result.violations.push_back({invariant, std::move(detail)});
+    }
+  };
+
+  // --- invariant monitors ---------------------------------------------------
+
+  // (2) certificate uniqueness: every accepted certificate anywhere, keyed
+  // by (round, author). Two distinct header digests = double-cert.
+  std::map<std::pair<Round, ValidatorId>, std::set<Digest>> accepted;
+  // (4) oracle input: the union of every validator's observed DAG. Headers
+  // and certificates are content-addressed, so accumulation is conflict-free
+  // (AddCertificate keeps the first per (round, author) — the monitor above
+  // reports when that ever matters).
+  Dag union_dag;
+  // (1) prefix consistency: longest committed sequence seen so far.
+  std::vector<Digest> global_seq;
+  std::vector<std::vector<Digest>> commit_seq(n);
+  std::vector<TimePoint> last_commit(n, -1);
+  // (5) execution agreement.
+  std::vector<KvStateMachine> machines(n);
+  std::vector<std::unique_ptr<Executor>> executors(n);
+  std::vector<std::pair<Digest, Digest>> exec_global;  // (header, state digest).
+  std::vector<size_t> exec_len(n, 0);
+
+  for (ValidatorId v = 0; v < n; ++v) {
+    Primary* primary = cluster.primary(v);
+    primary->add_on_certificate([&, primary](const Certificate& cert) {
+      auto& digests = accepted[{cert.round, cert.author}];
+      digests.insert(cert.header_digest);
+      if (digests.size() > 1) {
+        violation("cert-uniqueness",
+                  "round " + std::to_string(cert.round) + " author " +
+                      std::to_string(cert.author) + ": " + std::to_string(digests.size()) +
+                      " distinct certificates accepted");
+      }
+      union_dag.AddCertificate(cert);
+      if (auto header = primary->dag().GetHeader(cert.header_digest)) {
+        union_dag.AddHeader(header, cert.header_digest);
+      }
+    });
+    primary->add_on_header_stored([&, primary](const Digest& digest) {
+      if (auto header = primary->dag().GetHeader(digest)) {
+        union_dag.AddHeader(header, digest);
+      }
+    });
+
+    Worker* worker = cluster.worker(v, 0);
+    executors[v] = std::make_unique<Executor>(
+        &machines[v], [worker](const BatchRef& ref) { return worker->GetBatch(ref.digest); });
+    executors[v]->set_on_executed([&, v](const Digest& header_digest, const Digest& state) {
+      size_t i = exec_len[v]++;
+      if (i < exec_global.size()) {
+        if (exec_global[i] != std::make_pair(header_digest, state)) {
+          violation("exec-agreement",
+                    "validator " + std::to_string(v) + " diverges at executed header #" +
+                        std::to_string(i) + " (header " + DigestPrefix(header_digest) +
+                        ", state " + DigestPrefix(state) + ")");
+        }
+      } else {
+        exec_global.emplace_back(header_digest, state);
+      }
+    });
+
+    // Per-commit evaluation shared by both systems.
+    auto on_committed = [&, v](const Digest& digest,
+                               const std::shared_ptr<const BlockHeader>& header) {
+      size_t i = commit_seq[v].size();
+      commit_seq[v].push_back(digest);
+      last_commit[v] = scheduler.now();
+      if (i < global_seq.size()) {
+        if (global_seq[i] != digest) {
+          violation("prefix-consistency",
+                    "validator " + std::to_string(v) + " commit #" + std::to_string(i) +
+                        " is " + DigestPrefix(digest) + ", another validator committed " +
+                        DigestPrefix(global_seq[i]));
+        }
+      } else {
+        global_seq.push_back(digest);
+      }
+      // (3) causal completeness at commit time, in the committing
+      // validator's own view.
+      const Dag& local = cluster.primary(v)->dag();
+      if (!local.HasHeader(digest)) {
+        violation("causal-completeness", "validator " + std::to_string(v) +
+                                             " committed header " + DigestPrefix(digest) +
+                                             " without storing it");
+      }
+      for (const Certificate& parent : header->parents) {
+        if (parent.round >= local.gc_round() && !local.HasHeader(parent.header_digest)) {
+          violation("causal-completeness",
+                    "validator " + std::to_string(v) + " committed " + DigestPrefix(digest) +
+                        " with missing parent " + DigestPrefix(parent.header_digest));
+        }
+      }
+      executors[v]->OnCommittedHeader(header);
+      executors[v]->RetryPending();
+    };
+    if (schedule.system == SystemKind::kTusk) {
+      cluster.tusk(v)->add_on_commit([on_committed](const Tusk::Committed& c) {
+        on_committed(c.digest, c.header);
+      });
+    } else {
+      auto* provider = dynamic_cast<NarwhalProvider*>(cluster.provider(v));
+      provider->add_on_header_commit(on_committed);
+    }
+  }
+
+  // --- fault script ---------------------------------------------------------
+  for (const FaultSchedule::Crash& c : schedule.crashes) {
+    cluster.CrashValidator(c.validator, c.at);
+  }
+  for (const FaultSchedule::Partition& p : schedule.partitions) {
+    cluster.IsolateValidator(p.validator, p.start, p.end);
+  }
+  for (const FaultSchedule::Async& a : schedule.asyncs) {
+    cluster.faults().AddAsynchronyWindow(a.start, a.end, a.factor);
+  }
+  for (const FaultSchedule::Equivocate& e : schedule.equivocators) {
+    cluster.faults().MarkEquivocator(e.validator, e.at);
+  }
+  if (schedule.loss_rate > 0) {
+    cluster.faults().SetLossRate(schedule.loss_rate);
+  }
+
+  // --- workload -------------------------------------------------------------
+  // Explicit ExecTx payloads so execution agreement checks real state: one
+  // mint per validator account up front, then round-robin unit transfers.
+  for (ValidatorId v = 0; v < n; ++v) {
+    scheduler.ScheduleAt(Millis(10), [&cluster, v] {
+      cluster.worker(v, 0)->SubmitBlock({ExecTx::Mint(Account(v), 1000000).Encode()});
+    });
+  }
+  uint64_t k = 0;
+  for (TimePoint t = Millis(100); t < schedule.duration; t += schedule.tx_interval, ++k) {
+    ValidatorId src = static_cast<ValidatorId>(k % n);
+    ValidatorId dst = static_cast<ValidatorId>((k + 1) % n);
+    scheduler.ScheduleAt(t, [&cluster, src, dst] {
+      cluster.worker(src, 0)->SubmitBlock(
+          {ExecTx::Transfer(Account(src), Account(dst), 1).Encode()});
+    });
+  }
+  // Committed headers can execute before their batch data syncs; retry the
+  // executors periodically so deferred headers drain within the run.
+  for (TimePoint t = Millis(500); t < schedule.duration; t += Millis(500)) {
+    scheduler.ScheduleAt(t, [&executors, n] {
+      for (ValidatorId v = 0; v < n; ++v) {
+        executors[v]->RetryPending();
+      }
+    });
+  }
+
+  cluster.Start();
+  scheduler.RunUntil(schedule.duration);
+
+  // --- end-of-run invariants ------------------------------------------------
+
+  // (4) oracle agreement (Tusk only): pure §5 replay over the union DAG.
+  if (schedule.system == SystemKind::kTusk) {
+    CommonCoin coin(schedule.seed);
+    TuskReplay replay =
+        ReplayTusk(union_dag, cluster.committee(), coin, config.narwhal.gc_depth);
+    for (ValidatorId v = 0; v < n; ++v) {
+      if (!schedule.IsCorrect(v)) {
+        continue;
+      }
+      size_t common = std::min(commit_seq[v].size(), replay.ordered.size());
+      for (size_t i = 0; i < common; ++i) {
+        if (commit_seq[v][i] != replay.ordered[i]) {
+          violation("oracle-agreement",
+                    "validator " + std::to_string(v) + " commit #" + std::to_string(i) +
+                        " is " + DigestPrefix(commit_seq[v][i]) + ", reference replay has " +
+                        DigestPrefix(replay.ordered[i]));
+          break;
+        }
+      }
+      if (replay.complete && commit_seq[v].size() > replay.ordered.size()) {
+        violation("oracle-agreement",
+                  "validator " + std::to_string(v) + " committed " +
+                      std::to_string(commit_seq[v].size()) +
+                      " headers, reference replay only " +
+                      std::to_string(replay.ordered.size()));
+      }
+    }
+  }
+
+  // (6) liveness: every correct validator commits within the slack window at
+  // the end of the run (which extends well past GST by construction). Under
+  // degraded-mode schedules (crashes/equivocators down to exactly 2f+1 alive
+  // plus loss) each lost message costs a full retry delay and the coin can
+  // pick dead leaders for consecutive waves, so the slack scales up.
+  TimePoint gst = schedule.Gst();
+  const TimeDelta slack = schedule.Stressed() ? Seconds(15) : kLivenessSlack;
+  if (schedule.duration >= gst + slack + Seconds(2)) {
+    for (ValidatorId v = 0; v < n; ++v) {
+      if (!schedule.IsCorrect(v)) {
+        continue;
+      }
+      std::string at_round = " (mempool round " + std::to_string(cluster.primary(v)->round());
+      if (cluster.hotstuff(v) != nullptr) {
+        at_round += ", hs view " + std::to_string(cluster.hotstuff(v)->current_view()) +
+                    ", hs commits " + std::to_string(cluster.hotstuff(v)->committed_blocks());
+        if (auto* np = dynamic_cast<NarwhalProvider*>(cluster.provider(v))) {
+          at_round += ", anchors pending " + std::to_string(np->pending_anchor_count());
+        }
+      }
+      at_round += ")";
+      if (last_commit[v] <= gst) {
+        violation("liveness", "validator " + std::to_string(v) +
+                                  " never committed after GST (last commit at " +
+                                  std::to_string(last_commit[v]) + " us, GST " +
+                                  std::to_string(gst) + " us)" + at_round);
+      } else if (last_commit[v] < schedule.duration - slack) {
+        violation("liveness", "validator " + std::to_string(v) + " stalled: last commit at " +
+                                  std::to_string(last_commit[v]) + " us of " +
+                                  std::to_string(schedule.duration) + " us" + at_round);
+      }
+    }
+  }
+
+  result.event_hash = scheduler.event_hash();
+  result.events_fired = scheduler.events_fired();
+  for (ValidatorId v = 0; v < n; ++v) {
+    result.commits = std::max<uint64_t>(result.commits, commit_seq[v].size());
+  }
+  return result;
+}
+
+CheckResult RunScheduleWithDeterminismCheck(const FaultSchedule& schedule) {
+  CheckResult first = RunSchedule(schedule);
+  CheckResult second = RunSchedule(schedule);
+  if (first.event_hash != second.event_hash || first.events_fired != second.events_fired) {
+    first.violations.push_back(
+        {"determinism", "two runs of seed " + std::to_string(schedule.seed) +
+                            " diverged: event hash " + std::to_string(first.event_hash) +
+                            " (" + std::to_string(first.events_fired) + " events) vs " +
+                            std::to_string(second.event_hash) + " (" +
+                            std::to_string(second.events_fired) + " events)"});
+  } else if (first.Summary() != second.Summary()) {
+    first.violations.push_back({"determinism", "two runs of seed " +
+                                                   std::to_string(schedule.seed) +
+                                                   " returned different verdicts"});
+  }
+  return first;
+}
+
+}  // namespace nt

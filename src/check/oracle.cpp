@@ -1,0 +1,110 @@
+#include "src/check/oracle.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/tusk/tusk.h"
+
+namespace nt {
+
+namespace {
+
+// The paper's §5 commit rule: leader's round-2w support count, evaluated on
+// the reference DAG. Identical to Tusk::CommitRuleSatisfied but independent
+// of the live implementation (and of the seeded_bugs weakenings — the whole
+// point of the oracle is that it stays honest when the live path is broken).
+bool SupportSatisfied(const Dag& dag, uint64_t wave, const Certificate& leader,
+                      const Committee& committee) {
+  uint32_t votes = 0;
+  for (const auto& [author, cert] : dag.CertsAt(Tusk::WaveSecondRound(wave))) {
+    auto header = dag.GetHeader(cert.header_digest);
+    if (header == nullptr) {
+      continue;
+    }
+    for (const Certificate& parent : header->parents) {
+      if (parent.header_digest == leader.header_digest) {
+        ++votes;
+        break;
+      }
+    }
+  }
+  return votes >= committee.validity_threshold();
+}
+
+}  // namespace
+
+TuskReplay ReplayTusk(Dag dag, const Committee& committee, const ThresholdCoin& coin,
+                      Round gc_depth) {
+  TuskReplay out;
+  std::set<Digest> committed;
+  std::map<Round, std::vector<Digest>> committed_by_round;
+  uint64_t last_committed_wave = 0;
+
+  Round top = dag.HighestRound();
+  if (top < 3) {
+    return out;
+  }
+  uint64_t max_wave = (top - 1) / 2;
+  for (uint64_t wave = last_committed_wave + 1; wave <= max_wave; ++wave) {
+    if (dag.CertCountAt(Tusk::WaveThirdRound(wave)) < committee.quorum_threshold()) {
+      break;  // The coin for this wave never revealed anywhere.
+    }
+    ValidatorId leader_id = coin.LeaderOf(wave, committee.size());
+    const Certificate* leader = dag.GetCert(Tusk::WaveFirstRound(wave), leader_id);
+    if (leader == nullptr || committed.count(leader->header_digest) != 0) {
+      continue;
+    }
+    if (!SupportSatisfied(dag, wave, *leader, committee)) {
+      continue;
+    }
+
+    // Chain back through skipped waves by DAG reachability, exactly as the
+    // live committer does.
+    std::vector<const Certificate*> chain{leader};
+    const Certificate* candidate = leader;
+    for (uint64_t i = wave - 1; i > last_committed_wave && i > 0; --i) {
+      const Certificate* li = dag.GetCert(Tusk::WaveFirstRound(i),
+                                          coin.LeaderOf(i, committee.size()));
+      if (li == nullptr || committed.count(li->header_digest) != 0) {
+        continue;
+      }
+      if (dag.HasPath(candidate->header_digest, li->header_digest)) {
+        chain.push_back(li);
+        candidate = li;
+      }
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    for (const Certificate* lead : chain) {
+      Dag::History history = dag.CollectCausalHistory(lead->header_digest, committed);
+      if (!history.missing.empty()) {
+        out.complete = false;
+        return out;  // Under-observed union DAG; nothing sound to say beyond here.
+      }
+      for (const Digest& digest : history.ordered) {
+        committed.insert(digest);
+        committed_by_round[dag.GetHeader(digest)->round].push_back(digest);
+        out.ordered.push_back(digest);
+      }
+    }
+    last_committed_wave = wave;
+
+    // Mirror the live GC horizon so linearization never reaches below what
+    // live validators keep (CollectCausalHistory stops at dag.gc_round()).
+    Round leader_round = Tusk::WaveFirstRound(wave);
+    if (leader_round > gc_depth) {
+      Round gc_round = leader_round - gc_depth;
+      dag.GarbageCollect(gc_round);
+      for (auto it = committed_by_round.begin();
+           it != committed_by_round.end() && it->first < gc_round;) {
+        for (const Digest& d : it->second) {
+          committed.erase(d);
+        }
+        it = committed_by_round.erase(it);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nt

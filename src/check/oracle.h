@@ -1,0 +1,36 @@
+// Pure reference re-run of the Tusk commit rule (paper §5) over a complete
+// DAG — the oracle the DST harness compares every live validator's commit
+// sequence against (invariant: live output is a prefix of the reference
+// output). Unlike the live `Tusk` class it has no network, no deferral, no
+// sync: it assumes its input DAG already holds the union of everything any
+// validator observed, and interprets waves strictly in order, mirroring the
+// live garbage-collection horizon as it goes.
+#ifndef SRC_CHECK_ORACLE_H_
+#define SRC_CHECK_ORACLE_H_
+
+#include <vector>
+
+#include "src/crypto/coin.h"
+#include "src/narwhal/dag.h"
+#include "src/types/committee.h"
+
+namespace nt {
+
+struct TuskReplay {
+  // Committed header digests in delivery order.
+  std::vector<Digest> ordered;
+  // True if every committed anchor's causal history was fully present in the
+  // input DAG (always the case for a correctly accumulated union DAG; false
+  // indicates the harness itself under-observed, not a protocol bug).
+  bool complete = true;
+};
+
+// Replays the Tusk commit rule over `dag` (taken by value: replay garbage-
+// collects as it commits, mirroring the live protocol's horizon). The coin
+// and gc_depth must match the live run's.
+TuskReplay ReplayTusk(Dag dag, const Committee& committee, const ThresholdCoin& coin,
+                      Round gc_depth);
+
+}  // namespace nt
+
+#endif  // SRC_CHECK_ORACLE_H_

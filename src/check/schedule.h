@@ -1,0 +1,101 @@
+// Fault schedules for the deterministic simulation-testing (DST) harness.
+//
+// A FaultSchedule is a complete, self-contained description of one fuzzed
+// experiment: committee size, run length, workload rate, the full fault
+// script (crashes, partition windows, asynchrony windows, message loss,
+// Byzantine equivocators), and any seeded-bug flags (mutation testing). The
+// ScheduleGenerator draws one deterministically from a seed; Encode/Decode
+// round-trip a schedule through the text repro format `ntcheck --replay`
+// consumes, so a shrunk failure replays bit-for-bit from a checked-in file.
+#ifndef SRC_CHECK_SCHEDULE_H_
+#define SRC_CHECK_SCHEDULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/runtime/cluster.h"
+#include "src/types/types.h"
+
+namespace nt {
+
+struct FaultSchedule {
+  uint64_t seed = 1;
+  SystemKind system = SystemKind::kTusk;  // kTusk or kNarwhalHs.
+  uint32_t validators = 4;
+  TimeDelta duration = Seconds(12);
+
+  struct Crash {
+    ValidatorId validator = 0;
+    TimePoint at = 0;
+  };
+  struct Partition {
+    ValidatorId validator = 0;
+    TimePoint start = 0;
+    TimePoint end = 0;
+  };
+  struct Async {
+    TimePoint start = 0;
+    TimePoint end = 0;
+    double factor = 10.0;
+  };
+  struct Equivocate {
+    ValidatorId validator = 0;
+    TimePoint at = 0;
+  };
+
+  std::vector<Crash> crashes;
+  std::vector<Partition> partitions;
+  std::vector<Async> asyncs;
+  std::vector<Equivocate> equivocators;
+  double loss_rate = 0.0;
+
+  // Workload: one ExecTx submitted every `tx_interval` (round-robin over
+  // validators), plus per-validator mints at start.
+  TimeDelta tx_interval = Millis(400);
+
+  // Seeded protocol weakenings active during the run (mutation testing; see
+  // src/common/seeded_bugs.h). Serialized so repro files are self-contained.
+  bool bug_accept_2f_certs = false;
+  bool bug_skip_tusk_support = false;
+
+  // Global stabilization time: the end of the last partition/asynchrony
+  // window (0 when none), extended by the in-flight tail of delayed
+  // messages — crashes are permanent and equivocators stay Byzantine, so
+  // neither delays GST.
+  TimePoint Gst() const;
+
+  // True when permanent validator faults combine with message loss: the
+  // surviving committee can be exactly 2f+1, where every lost message costs
+  // a full retry delay and rounds crawl. Liveness needs a wider window.
+  bool Stressed() const {
+    return (!crashes.empty() || !equivocators.empty()) && loss_rate > 0;
+  }
+
+  // How long a run must extend past GST for the liveness invariant to be
+  // meaningful under this schedule's stress level.
+  TimeDelta PostGstWindow() const { return Stressed() ? Seconds(30) : Seconds(10); }
+
+  // Total injected faults (crashes + partitions + asyncs + equivocators +
+  // one for nonzero loss). The shrinker minimizes this.
+  size_t FaultCount() const;
+
+  // True if `v` is neither crashed at any point nor an equivocator — the
+  // validators whose commit progress the liveness invariant covers.
+  bool IsCorrect(ValidatorId v) const;
+
+  // Text repro format: `key=value` lines, one per field/fault.
+  std::string Encode() const;
+  static std::optional<FaultSchedule> Decode(const std::string& text);
+};
+
+// Draws the schedule for `seed` deterministically (same seed, same schedule,
+// on every platform). `system_override`, when set, pins the system instead
+// of letting the seed pick Tusk vs Narwhal-HS.
+FaultSchedule GenerateSchedule(uint64_t seed,
+                               std::optional<SystemKind> system_override = std::nullopt);
+
+}  // namespace nt
+
+#endif  // SRC_CHECK_SCHEDULE_H_

@@ -1,0 +1,142 @@
+#include "src/check/shrinker.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace nt {
+
+namespace {
+
+// Re-derives the run length after windows moved: liveness checking needs a
+// bounded stretch of synchrony after GST, and shorter runs shrink faster.
+void FitDuration(FaultSchedule& s) { s.duration = s.Gst() + s.PostGstWindow(); }
+
+// All one-step simplifications of `s`, most aggressive first (committee
+// shrink removes the most state per accepted step).
+std::vector<FaultSchedule> Candidates(const FaultSchedule& s) {
+  std::vector<FaultSchedule> out;
+
+  // Shrink the committee (3f+1 sizes), dropping faults that reference
+  // removed validators. Every smaller size is offered, not just n-3: a bug
+  // can fail to reproduce at an intermediate size yet still fire at a
+  // smaller one (timing differs per committee size), and a single-step
+  // shrink would get stuck at the first passing size.
+  for (uint32_t target = s.validators >= 3 ? s.validators - 3 : 0; target >= 4; target -= 3) {
+    FaultSchedule t = s;
+    t.validators = target;
+    auto in_range = [&t](ValidatorId v) { return v < t.validators; };
+    t.crashes.erase(std::remove_if(t.crashes.begin(), t.crashes.end(),
+                                   [&](const FaultSchedule::Crash& c) {
+                                     return !in_range(c.validator);
+                                   }),
+                    t.crashes.end());
+    t.partitions.erase(std::remove_if(t.partitions.begin(), t.partitions.end(),
+                                      [&](const FaultSchedule::Partition& p) {
+                                        return !in_range(p.validator);
+                                      }),
+                       t.partitions.end());
+    t.equivocators.erase(std::remove_if(t.equivocators.begin(), t.equivocators.end(),
+                                        [&](const FaultSchedule::Equivocate& e) {
+                                          return !in_range(e.validator);
+                                        }),
+                         t.equivocators.end());
+    // The shrunk committee tolerates fewer Byzantine validators; trim the
+    // surplus rather than produce an over-budget (> f) schedule.
+    uint32_t f = (t.validators - 1) / 3;
+    while (t.crashes.size() + t.equivocators.size() > f) {
+      if (!t.crashes.empty()) {
+        t.crashes.pop_back();
+      } else {
+        t.equivocators.pop_back();
+      }
+    }
+    FitDuration(t);
+    out.push_back(std::move(t));
+  }
+
+  for (size_t i = 0; i < s.crashes.size(); ++i) {
+    FaultSchedule t = s;
+    t.crashes.erase(t.crashes.begin() + i);
+    out.push_back(std::move(t));
+  }
+  for (size_t i = 0; i < s.partitions.size(); ++i) {
+    FaultSchedule t = s;
+    t.partitions.erase(t.partitions.begin() + i);
+    FitDuration(t);
+    out.push_back(std::move(t));
+  }
+  for (size_t i = 0; i < s.asyncs.size(); ++i) {
+    FaultSchedule t = s;
+    t.asyncs.erase(t.asyncs.begin() + i);
+    FitDuration(t);
+    out.push_back(std::move(t));
+  }
+  for (size_t i = 0; i < s.equivocators.size(); ++i) {
+    FaultSchedule t = s;
+    t.equivocators.erase(t.equivocators.begin() + i);
+    out.push_back(std::move(t));
+  }
+  if (s.loss_rate > 0) {
+    FaultSchedule t = s;
+    t.loss_rate = 0;
+    out.push_back(t);
+    if (s.loss_rate > 0.02) {
+      t.loss_rate = s.loss_rate / 2;
+      out.push_back(std::move(t));
+    }
+  }
+  // Narrow windows without dropping them (keeps a needed fault but trims the
+  // repro's interesting region).
+  for (size_t i = 0; i < s.partitions.size(); ++i) {
+    if (s.partitions[i].end - s.partitions[i].start < Millis(200)) {
+      continue;
+    }
+    FaultSchedule t = s;
+    t.partitions[i].end = t.partitions[i].start + (t.partitions[i].end - t.partitions[i].start) / 2;
+    FitDuration(t);
+    out.push_back(std::move(t));
+  }
+  for (size_t i = 0; i < s.asyncs.size(); ++i) {
+    if (s.asyncs[i].end - s.asyncs[i].start < Millis(200)) {
+      continue;
+    }
+    FaultSchedule t = s;
+    t.asyncs[i].end = t.asyncs[i].start + (t.asyncs[i].end - t.asyncs[i].start) / 2;
+    FitDuration(t);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult Shrink(const FaultSchedule& schedule, uint32_t max_runs) {
+  ShrinkResult result;
+  result.schedule = schedule;
+  result.verdict = RunSchedule(schedule);
+  ++result.runs;
+  if (result.verdict.ok()) {
+    return result;  // Does not reproduce; nothing to shrink.
+  }
+
+  bool progress = true;
+  while (progress && result.runs < max_runs) {
+    progress = false;
+    for (FaultSchedule& candidate : Candidates(result.schedule)) {
+      if (result.runs >= max_runs) {
+        break;
+      }
+      CheckResult verdict = RunSchedule(candidate);
+      ++result.runs;
+      if (!verdict.ok()) {
+        result.schedule = std::move(candidate);
+        result.verdict = std::move(verdict);
+        progress = true;
+        break;  // Restart from the simplified schedule.
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace nt

@@ -1,0 +1,28 @@
+// Greedy schedule minimizer: given a failing FaultSchedule, repeatedly tries
+// simplifying transformations (drop a fault, zero the loss rate, narrow a
+// window, shrink the committee) and keeps any simplification that still
+// fails the checker, until a fixed point or the run budget is exhausted.
+// The result is what gets written to a repro file and checked into
+// tests/seeds/regressions.txt.
+#ifndef SRC_CHECK_SHRINKER_H_
+#define SRC_CHECK_SHRINKER_H_
+
+#include "src/check/checker.h"
+#include "src/check/schedule.h"
+
+namespace nt {
+
+struct ShrinkResult {
+  FaultSchedule schedule;   // The minimized still-failing schedule.
+  CheckResult verdict;      // Checker output for `schedule`.
+  uint32_t runs = 0;        // Checker invocations spent shrinking.
+};
+
+// `schedule` must fail RunSchedule (the caller already observed a failure;
+// Shrink re-verifies before doing anything and returns it unchanged if the
+// failure does not reproduce). `max_runs` bounds the total checker runs.
+ShrinkResult Shrink(const FaultSchedule& schedule, uint32_t max_runs = 200);
+
+}  // namespace nt
+
+#endif  // SRC_CHECK_SHRINKER_H_

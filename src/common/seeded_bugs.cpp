@@ -1,0 +1,10 @@
+#include "src/common/seeded_bugs.h"
+
+namespace nt {
+namespace seeded_bugs {
+
+bool accept_2f_certs = false;
+bool skip_tusk_support = false;
+
+}  // namespace seeded_bugs
+}  // namespace nt

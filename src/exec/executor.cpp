@@ -30,6 +30,9 @@ void Executor::Drain() {
     if (tracer_ != nullptr && scheduler_ != nullptr) {
       tracer_->OnExecuted(validator_, header->ComputeDigest(), scheduler_->now());
     }
+    if (on_executed_) {
+      on_executed_(header->ComputeDigest(), state_machine_->state_digest());
+    }
     queue_.pop_front();
   }
 }

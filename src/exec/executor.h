@@ -44,6 +44,13 @@ class Executor {
     scheduler_ = scheduler;
   }
 
+  // Fired after each header finishes executing, with the header digest and
+  // the state machine's chained digest at that point — the DST harness
+  // compares these sequences across validators (state-machine agreement).
+  void set_on_executed(std::function<void(const Digest& header_digest, const Digest& state_digest)> hook) {
+    on_executed_ = std::move(hook);
+  }
+
   uint64_t executed_headers() const { return executed_headers_; }
   uint64_t executed_txs() const { return state_machine_->applied() + state_machine_->rejected(); }
   size_t pending_headers() const { return queue_.size(); }
@@ -55,6 +62,7 @@ class Executor {
   BatchSource source_;
   std::deque<std::shared_ptr<const BlockHeader>> queue_;
   uint64_t executed_headers_ = 0;
+  std::function<void(const Digest&, const Digest&)> on_executed_;
   Tracer* tracer_ = nullptr;
   ValidatorId validator_ = 0;
   Scheduler* scheduler_ = nullptr;

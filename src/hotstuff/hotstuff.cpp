@@ -105,8 +105,28 @@ void HotStuff::MaybePropose() {
 
   blocks_[digest] = block;
   Broadcast(std::make_shared<MsgHsProposal>(block, digest));
+  network_->scheduler()->ScheduleAfter(config_.proposal_retry_delay,
+                                       [this, digest, v = block->view] {
+                                         RetryProposal(digest, v, 0);
+                                       });
   UpdateChain(*block);
   TryVote(digest);
+}
+
+void HotStuff::RetryProposal(const Digest& digest, View view, uint32_t attempt) {
+  if (view_ != view) {
+    return;  // The view resolved (QC or TC); the proposal is moot.
+  }
+  auto it = blocks_.find(digest);
+  if (it == blocks_.end()) {
+    return;
+  }
+  Broadcast(std::make_shared<MsgHsProposal>(it->second, digest));
+  uint32_t next = attempt + 1;
+  TimeDelta delay = config_.proposal_retry_delay << std::min(next, 3u);
+  network_->scheduler()->ScheduleAfter(delay, [this, digest, view, next] {
+    RetryProposal(digest, view, next);
+  });
 }
 
 // ---------------------------------------------------------------- proposals
@@ -118,7 +138,14 @@ void HotStuff::HandleProposal(uint32_t from, const MsgHsProposal& msg) {
     return;
   }
   if (blocks_.count(msg.digest) != 0) {
-    return;  // Duplicate.
+    // A duplicate means the leader is retransmitting because it is still
+    // short of a QC — our earlier vote may have been the lost message.
+    // Re-sending it is safe (same view, same digest; the leader's vote set
+    // dedupes by voter) and completes the retransmission loop.
+    if (last_voted_view_ == block.view && last_voted_digest_ == msg.digest) {
+      CastVote(block, msg.digest);
+    }
+    return;
   }
   if (msg.digest != block.ComputeDigest() ||
       !signer_->Verify(committee_.key_of(block.author), msg.digest, block.author_sig)) {
@@ -221,6 +248,7 @@ void HotStuff::TryVote(const Digest& digest) {
 
 void HotStuff::CastVote(const HsBlock& block, const Digest& digest) {
   last_voted_view_ = block.view;
+  last_voted_digest_ = digest;
   Signature sig = signer_->Sign(QuorumCert::VotePreimage(digest, block.view));
   auto vote = std::make_shared<MsgHsVote>(digest, block.view, id_, sig);
   ValidatorId next_leader = LeaderOf(block.view + 1);
@@ -359,7 +387,18 @@ void HotStuff::HandleTimeout(const MsgHsTimeout& msg) {
     AdoptQc(msg.high_qc);
   }
   auto& set = timeout_sets_[msg.view];
-  set[msg.voter] = msg.sig;
+  bool fresh = set.emplace(msg.voter, msg.sig).second;
+  // Direct reconciliation: a peer timing out our current view may have
+  // missed our own timeout broadcast (it is only re-sent on this node's
+  // exponentially backed-off view timer, which can be tens of seconds deep
+  // in a stuck view). Answer the first timeout we see from each peer with
+  // our signature so the exchange converges pairwise in one round trip.
+  // Replying only to fresh signatures makes the echo terminate.
+  if (fresh && msg.view == view_ && msg.voter != id_ && set.count(id_) != 0) {
+    Signature sig = signer_->Sign(TimeoutCert::VotePreimage(msg.view));
+    network_->Send(net_id_, peers_[msg.voter],
+                   std::make_shared<MsgHsTimeout>(msg.view, id_, sig, high_qc_));
+  }
   if (set.size() < committee_.quorum_threshold()) {
     // Timeout amplification (the f+1 rule of LibraBFT-style pacemakers):
     // if a validity quorum is timing out a view at or above ours and we have

@@ -35,9 +35,15 @@ struct HotStuffConfig {
   // view (capped) and resets when the view advances — LibraBFT-style
   // progress-based backoff.
   TimeDelta base_timeout = Seconds(1);
-  uint32_t max_backoff_doublings = 4;
+  uint32_t max_backoff_doublings = 3;
   // Retry delay for ancestor catch-up requests.
   TimeDelta sync_retry_delay = Millis(300);
+  // In-view proposal retransmission (paper §6: stored messages are re-sent
+  // until no longer needed for progress). A proposal and its votes are sent
+  // once per view; without retransmission a single lost message wastes the
+  // entire view, and at exactly 2f+1 alive validators under loss the
+  // three consecutive clean views a commit needs almost never line up.
+  TimeDelta proposal_retry_delay = Millis(300);
 };
 
 class HotStuff : public NetNode {
@@ -81,6 +87,7 @@ class HotStuff : public NetNode {
 
   // Proposal path.
   void HandleProposal(uint32_t from, const MsgHsProposal& msg);
+  void RetryProposal(const Digest& digest, View view, uint32_t attempt);
   void TryVote(const Digest& digest);
   void CastVote(const HsBlock& block, const Digest& digest);
 
@@ -114,6 +121,7 @@ class HotStuff : public NetNode {
   View view_ = 1;
   bool proposed_in_view_ = false;
   View last_voted_view_ = 0;
+  Digest last_voted_digest_{};
   uint32_t consecutive_timeouts_ = 0;
   uint32_t fetch_rotation_ = 0;
   Scheduler::TimerId view_timer_ = Scheduler::kInvalidTimer;

@@ -235,7 +235,7 @@ NarwhalProvider::NarwhalProvider(ValidatorId id, const Committee& committee, Pri
                                  BatchDirectory* directory, Round gc_depth)
     : id_(id), committee_(committee), primary_(primary), directory_(directory),
       gc_depth_(gc_depth) {
-  primary_->set_on_header_stored([this](const Digest&) { DrainPending(); });
+  primary_->add_on_header_stored([this](const Digest&) { DrainPending(); });
 }
 
 HsPayload NarwhalProvider::GetPayload(View) {
@@ -308,6 +308,9 @@ void NarwhalProvider::DeliverHistory(const Dag::History& history) {
     ++committed_count_;
     max_round = std::max(max_round, header->round);
     primary_->NotifyCommitted(*header);
+    for (const auto& hook : on_header_commit_hooks_) {
+      hook(digest, header);
+    }
     if (sink_ != nullptr) {
       for (const BatchRef& ref : header->batches) {
         const BatchDirectory::Info* info = directory_->Find(ref.digest);

@@ -192,6 +192,18 @@ class NarwhalProvider : public PayloadProvider {
   void OnCommit(const HsPayload& payload, ValidatorId block_author) override;
 
   uint64_t committed_headers() const { return committed_count_; }
+  // Anchors committed by consensus whose causal history is still syncing.
+  size_t pending_anchor_count() const { return pending_anchors_.size(); }
+
+  // Fired once per committed Narwhal header, in delivery order — the same
+  // total order every correct replica produces. Lets observers (DST checker,
+  // executors) consume the committed header stream without re-deriving the
+  // linearization. Multiple listeners run in registration order.
+  using HeaderCommitHook =
+      std::function<void(const Digest& digest, const std::shared_ptr<const BlockHeader>& header)>;
+  void add_on_header_commit(HeaderCommitHook hook) {
+    on_header_commit_hooks_.push_back(std::move(hook));
+  }
 
  private:
   // Processes queued anchors whose causal histories are now complete.
@@ -207,6 +219,7 @@ class NarwhalProvider : public PayloadProvider {
   std::set<Digest> committed_;
   std::deque<Digest> pending_anchors_;  // Committed by consensus, awaiting sync.
   uint64_t committed_count_ = 0;
+  std::vector<HeaderCommitHook> on_header_commit_hooks_;
 };
 
 }  // namespace nt

@@ -3,10 +3,21 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/seeded_bugs.h"
 #include "src/narwhal/archive.h"
 #include "src/types/cert_cache.h"
 
 namespace nt {
+
+namespace {
+// Votes needed before a proposal certifies. The honest value is 2f+1; the
+// seeded accept_2f_certs mutation drops it to 2f, breaking quorum
+// intersection (mutation-tests the DST harness, see src/common/seeded_bugs.h).
+uint32_t CertVoteThreshold(const Committee& committee) {
+  return seeded_bugs::accept_2f_certs ? std::max(1u, 2 * committee.f())
+                                      : committee.quorum_threshold();
+}
+}  // namespace
 
 Primary::Primary(ValidatorId id, const Committee& committee, const NarwhalConfig& config,
                  Network* network, const Topology* topology, Signer* signer)
@@ -108,18 +119,62 @@ void Primary::ProposeNow() {
   proposal.votes[id_] =
       signer_->Sign(Certificate::VotePreimage(digest, header->round, header->author));
 
-  auto msg = std::make_shared<MsgHeader>(header, digest);
+  // Byzantine equivocation (DST fault injection): when marked as an
+  // equivocator, also build a conflicting header B for the same round —
+  // same parents in reversed order (the digest covers parent order, so B's
+  // digest differs) and no payload — and split the committee into disjoint
+  // halves: the first half receives only A, the second half only B. Both
+  // proposals are tracked and self-voted: with an honest 2f+1 quorum the
+  // halves cannot both certify, but under the seeded accept_2f_certs
+  // weakening the disjoint vote sets intersect in no honest validator and
+  // two conflicting certificates for (round, author) form.
+  FaultController* faults = network_->faults();
+  bool equivocate = round_ > 0 && header->parents.size() >= 2 && faults != nullptr &&
+                    faults->IsEquivocator(id_, network_->scheduler()->now());
+
+  std::vector<ValidatorId> others;
   for (ValidatorId v = 0; v < committee_.size(); ++v) {
     if (v != id_) {
-      network_->Send(net_id_, topology_->primary_of[v], msg);
+      others.push_back(v);
     }
+  }
+  size_t a_recipients = equivocate ? (others.size() + 1) / 2 : others.size();
+
+  auto msg = std::make_shared<MsgHeader>(header, digest);
+  for (size_t i = 0; i < a_recipients; ++i) {
+    network_->Send(net_id_, topology_->primary_of[others[i]], msg);
   }
   network_->scheduler()->ScheduleAfter(config_.header_retry_delay,
                                        [this, digest, r = header->round] {
                                          RetryBroadcast(digest, r, 0);
                                        });
+
+  if (equivocate) {
+    auto twin = std::make_shared<BlockHeader>();
+    twin->author = id_;
+    twin->round = round_;
+    twin->parents.assign(header->parents.rbegin(), header->parents.rend());
+    Digest twin_digest = twin->ComputeDigest();
+    twin->author_sig = signer_->Sign(twin_digest);
+
+    Proposal& twin_proposal = proposals_[twin_digest];
+    twin_proposal.header = twin;
+    twin_proposal.digest = twin_digest;
+    twin_proposal.votes[id_] =
+        signer_->Sign(Certificate::VotePreimage(twin_digest, twin->round, twin->author));
+
+    auto twin_msg = std::make_shared<MsgHeader>(twin, twin_digest);
+    for (size_t i = a_recipients; i < others.size(); ++i) {
+      network_->Send(net_id_, topology_->primary_of[others[i]], twin_msg);
+    }
+    network_->scheduler()->ScheduleAfter(config_.header_retry_delay,
+                                         [this, twin_digest, r = twin->round] {
+                                           RetryBroadcast(twin_digest, r, 0);
+                                         });
+  }
+
   // n = 1 degenerate committees certify immediately.
-  if (proposal.votes.size() >= committee_.quorum_threshold()) {
+  if (proposal.votes.size() >= CertVoteThreshold(committee_)) {
     FormCertificate(proposal);
   }
 }
@@ -163,7 +218,11 @@ void Primary::RetryBroadcast(Digest digest, Round round, uint32_t attempt) {
   } else {
     return;  // GC'd: no longer needed.
   }
-  TimeDelta delay = config_.header_retry_delay << std::min(retries, 5u);
+  // Cap the backoff at 8× the base delay: retransmission is what carries
+  // liveness through loss when only 2f+1 validators survive, so the retry
+  // interval must stay well under any post-GST liveness bound (a 32 s gap
+  // reads as a dead cluster to everything downstream).
+  TimeDelta delay = config_.header_retry_delay << std::min(retries, 3u);
   network_->scheduler()->ScheduleAfter(
       delay, [this, digest, round, retries] { RetryBroadcast(digest, round, retries); });
 }
@@ -293,7 +352,7 @@ void Primary::HandleVote(const Vote& vote) {
     return;
   }
   proposal.votes[vote.voter] = vote.sig;
-  if (proposal.votes.size() >= committee_.quorum_threshold()) {
+  if (proposal.votes.size() >= CertVoteThreshold(committee_)) {
     FormCertificate(proposal);
   }
 }
@@ -304,7 +363,7 @@ void Primary::FormCertificate(Proposal& proposal) {
   cert.round = proposal.header->round;
   cert.author = id_;
   for (const auto& [voter, sig] : proposal.votes) {
-    if (cert.votes.size() >= committee_.quorum_threshold()) {
+    if (cert.votes.size() >= CertVoteThreshold(committee_)) {
       break;
     }
     cert.votes.emplace_back(voter, sig);
@@ -344,8 +403,8 @@ bool Primary::AcceptCertificate(const Certificate& cert, bool request_header_if_
   if (request_header_if_missing && !dag_.HasHeader(cert.header_digest)) {
     RequestHeader(cert.header_digest);
   }
-  if (on_certificate_) {
-    on_certificate_(cert);
+  for (const auto& hook : on_certificate_hooks_) {
+    hook(cert);
   }
   TryAdvanceRound();
   return true;
@@ -392,8 +451,8 @@ void Primary::StoreHeader(std::shared_ptr<const BlockHeader> header, const Diges
   }
   dag_.AddHeader(std::move(header), digest);
   header_sync_.erase(digest);
-  if (on_header_stored_) {
-    on_header_stored_(digest);
+  for (const auto& hook : on_header_stored_hooks_) {
+    hook(digest);
   }
 }
 
@@ -528,6 +587,15 @@ void Primary::OnMessage(uint32_t from, const MessagePtr& msg) {
       return;
     }
     if (AcceptCertificate(response->cert, /*request_header_if_missing=*/false)) {
+      // Ingest the parent certificates too: unlike the voting path, a synced
+      // header skips HandleHeader, and without its parents in the DAG a
+      // causal-history walk can reach a header whose certificate nobody ever
+      // fetches (the header itself being present suppresses the sync) —
+      // wedging commit delivery. Requesting missing parent headers here also
+      // makes deep gaps heal recursively.
+      for (const Certificate& parent : response->header->parents) {
+        AcceptCertificate(parent, /*request_header_if_missing=*/true);
+      }
       StoreHeader(response->header, digest);
     }
     return;

@@ -50,12 +50,14 @@ class Primary : public NetNode {
   // --- consensus-layer interface ----------------------------------------------
 
   // Fired whenever a new certificate enters the local DAG (own or remote).
-  void set_on_certificate(std::function<void(const Certificate&)> hook) {
-    on_certificate_ = std::move(hook);
+  // Multiple listeners are supported (consensus plus the DST checker's
+  // invariant monitors); they run in registration order.
+  void add_on_certificate(std::function<void(const Certificate&)> hook) {
+    on_certificate_hooks_.push_back(std::move(hook));
   }
   // Fired whenever a header becomes locally available (vote path or sync).
-  void set_on_header_stored(std::function<void(const Digest&)> hook) {
-    on_header_stored_ = std::move(hook);
+  void add_on_header_stored(std::function<void(const Digest&)> hook) {
+    on_header_stored_hooks_.push_back(std::move(hook));
   }
 
   const Dag& dag() const { return dag_; }
@@ -186,8 +188,8 @@ class Primary : public NetNode {
   std::map<Digest, std::vector<BatchRef>> own_headers_;
   std::set<Digest> committed_batches_;
 
-  std::function<void(const Certificate&)> on_certificate_;
-  std::function<void(const Digest&)> on_header_stored_;
+  std::vector<std::function<void(const Certificate&)>> on_certificate_hooks_;
+  std::vector<std::function<void(const Digest&)>> on_header_stored_hooks_;
   class Archive* archive_ = nullptr;
 
   uint64_t headers_proposed_ = 0;

@@ -4,6 +4,7 @@
 #ifndef SRC_NET_FAULTS_H_
 #define SRC_NET_FAULTS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -46,14 +47,33 @@ class FaultController {
     async_windows_.push_back({start, end, factor});
   }
 
+  // Overlapping windows take the worst single factor rather than the
+  // product: each window models one degraded condition, and compounding
+  // them produces unboundedly long in-flight tails that no finite
+  // post-window recovery period could absorb.
   double LatencyFactor(TimePoint when) const {
     double factor = 1.0;
     for (const auto& w : async_windows_) {
       if (when >= w.start && when < w.end) {
-        factor *= w.factor;
+        factor = std::max(factor, w.factor);
       }
     }
     return factor;
+  }
+
+  // --- Byzantine equivocation -------------------------------------------------
+
+  // From `when` on, the validator behaves Byzantine when proposing: each
+  // header it would propose is instead sent as two conflicting versions to
+  // disjoint halves of the committee. Unlike the other hooks this is keyed
+  // by *validator* id, not network node id — it is consulted by the
+  // validator's own Primary at propose time (the FaultController itself
+  // never touches message contents).
+  void MarkEquivocator(uint32_t validator, TimePoint when) { equivocators_[validator] = when; }
+
+  bool IsEquivocator(uint32_t validator, TimePoint now) const {
+    auto it = equivocators_.find(validator);
+    return it != equivocators_.end() && now >= it->second;
   }
 
   // --- random loss -----------------------------------------------------------
@@ -64,7 +84,7 @@ class FaultController {
 
   bool AnyFaultsConfigured() const {
     return !crash_times_.empty() || !isolations_.empty() || !async_windows_.empty() ||
-           loss_rate_ > 0;
+           !equivocators_.empty() || loss_rate_ > 0;
   }
 
  private:
@@ -79,6 +99,7 @@ class FaultController {
   };
 
   std::unordered_map<uint32_t, TimePoint> crash_times_;
+  std::unordered_map<uint32_t, TimePoint> equivocators_;
   std::unordered_map<uint32_t, std::vector<Window>> isolations_;
   std::vector<AsyncWindow> async_windows_;
   double loss_rate_ = 0.0;

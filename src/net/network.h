@@ -78,6 +78,7 @@ class Network {
   }
 
   Scheduler* scheduler() const { return scheduler_; }
+  FaultController* faults() const { return faults_; }
 
   // --- statistics -----------------------------------------------------------
   uint64_t messages_sent() const { return messages_sent_; }

@@ -2,8 +2,6 @@
 
 namespace nt {
 
-uint64_t LoadGenerator::next_tx_id_ = 0;
-
 LoadGenerator::LoadGenerator(Cluster* cluster, ValidatorId validator, WorkerId worker,
                              Options options)
     : cluster_(cluster), validator_(validator), worker_(worker), options_(options) {}
@@ -22,7 +20,7 @@ void LoadGenerator::Tick() {
   carry_ -= static_cast<double>(count);
 
   for (uint64_t i = 0; i < count; ++i) {
-    uint64_t id = next_tx_id_++;
+    uint64_t id = cluster_->NextTxId();
     std::optional<TxSample> sample;
     if (until_sample_ == 0) {
       sample = TxSample{id, now};

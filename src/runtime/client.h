@@ -61,9 +61,6 @@ class LoadGenerator {
   uint64_t abandoned_ = 0;
   uint64_t until_sample_ = 0;
   std::vector<PendingTx> pending_;  // Tracked (sampled) not-yet-committed txs.
-
-  // Globally unique transaction ids across all generators.
-  static uint64_t next_tx_id_;
 };
 
 }  // namespace nt

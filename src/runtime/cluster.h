@@ -107,6 +107,12 @@ class Cluster {
 
   // The cluster's tracer; nullptr when config.trace is false.
   Tracer* tracer() { return tracer_.get(); }
+  // Next client transaction id, unique across all of this cluster's load
+  // generators. Deliberately per-cluster, not a process-wide static: a
+  // second experiment in the same process must replay identically from id 0
+  // (tx ids feed payload bytes and trace labels, so a leaking counter shows
+  // up as run-to-run divergence in the determinism audit).
+  uint64_t NextTxId() { return next_tx_id_++; }
   // True if validator `v` is currently crashed (any of its nodes; a crash
   // takes the validator's machines down together).
   bool IsValidatorCrashed(ValidatorId v) const;
@@ -122,6 +128,9 @@ class Cluster {
   Tusk* tusk(ValidatorId v) { return tusks_.empty() ? nullptr : tusks_[v].get(); }
   DagRider* dag_rider(ValidatorId v) { return riders_.empty() ? nullptr : riders_[v].get(); }
   HotStuff* hotstuff(ValidatorId v) { return hs_nodes_.empty() ? nullptr : hs_nodes_[v].get(); }
+  PayloadProvider* provider(ValidatorId v) {
+    return providers_.empty() ? nullptr : providers_[v].get();
+  }
   Mempool MempoolOf(ValidatorId v) { return Mempool(primary(v), worker(v, 0)); }
 
   const Topology& topology() const { return topology_; }
@@ -146,6 +155,7 @@ class Cluster {
   BatchDirectory directory_;
   Topology topology_;
   CommonCoin coin_;
+  uint64_t next_tx_id_ = 0;
 
   std::vector<std::unique_ptr<Signer>> signers_;
   std::vector<std::unique_ptr<Primary>> primaries_;

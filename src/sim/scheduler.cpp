@@ -8,6 +8,14 @@ namespace {
 // Compact the heap once it holds this many events and the majority are
 // tombstones; below this, tombstones are cheaper to skip on pop.
 constexpr size_t kCompactThreshold = 64;
+
+// SplitMix64 finalizer: full-avalanche mix for the event-stream hash.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
 Scheduler::TimerId Scheduler::ScheduleAt(TimePoint t, Callback cb) {
@@ -54,6 +62,10 @@ bool Scheduler::RunOne() {
   heap_.pop_back();
   live_.erase(ev.id);
   now_ = ev.time;
+  // Fold (time, seq) into the event-stream hash *before* running the
+  // callback, so a callback that inspects the hash sees its own event.
+  event_hash_ = Mix(event_hash_ ^ Mix(static_cast<uint64_t>(ev.time)) ^ ev.seq);
+  ++events_fired_;
   ev.cb();
   return true;
 }

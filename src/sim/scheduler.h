@@ -53,6 +53,16 @@ class Scheduler {
   // Exact number of live (scheduled, not yet fired, not cancelled) events.
   size_t pending_events() const { return live_.size(); }
 
+  // --- determinism self-check ------------------------------------------------
+  // Running hash over every fired event's (time, sequence) pair, folded in
+  // firing order. Two runs of the same seeded experiment must produce the
+  // same hash; any divergence means some component introduced iteration-order
+  // or wall-clock nondeterminism. The DST harness (src/check) compares this
+  // across duplicate runs and fails the experiment on mismatch.
+  uint64_t event_hash() const { return event_hash_; }
+  // Total events fired so far (cheap cross-check alongside the hash).
+  uint64_t events_fired() const { return events_fired_; }
+
  private:
   struct Event {
     TimePoint time;
@@ -75,6 +85,8 @@ class Scheduler {
 
   TimePoint now_ = 0;
   uint64_t next_seq_ = 1;
+  uint64_t event_hash_ = 0;
+  uint64_t events_fired_ = 0;
   // Min-heap over Event::operator> (std::push_heap/std::pop_heap with
   // std::greater), kept as an explicit vector so cancellation can compact it
   // in place when tombstones pile up.

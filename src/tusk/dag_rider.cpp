@@ -6,8 +6,8 @@ namespace nt {
 
 DagRider::DagRider(Primary* primary, const Committee& committee, const ThresholdCoin* coin)
     : primary_(primary), committee_(committee), coin_(coin) {
-  primary_->set_on_certificate([this](const Certificate&) { TryCommit(); });
-  primary_->set_on_header_stored([this](const Digest&) { TryCommit(); });
+  primary_->add_on_certificate([this](const Certificate&) { TryCommit(); });
+  primary_->add_on_header_stored([this](const Digest&) { TryCommit(); });
 }
 
 const Certificate* DagRider::LeaderCert(uint64_t wave) const {

@@ -3,14 +3,15 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/seeded_bugs.h"
 
 namespace nt {
 
 Tusk::Tusk(Primary* primary, const Committee& committee, const ThresholdCoin* coin,
            Round gc_depth)
     : primary_(primary), committee_(committee), coin_(coin), gc_depth_(gc_depth) {
-  primary_->set_on_certificate([this](const Certificate& cert) { OnCertificate(cert); });
-  primary_->set_on_header_stored([this](const Digest& digest) { OnHeaderStored(digest); });
+  primary_->add_on_certificate([this](const Certificate& cert) { OnCertificate(cert); });
+  primary_->add_on_header_stored([this](const Digest& digest) { OnHeaderStored(digest); });
 }
 
 void Tusk::OnCertificate(const Certificate&) { TryCommit(); }
@@ -29,6 +30,13 @@ const Certificate* Tusk::LeaderCert(uint64_t wave) const {
 }
 
 bool Tusk::CommitRuleSatisfied(uint64_t wave, const Certificate& leader) const {
+  // Seeded mutation: skip the paper's §5 f+1 second-round support check and
+  // commit every elected leader present in the local view — validators with
+  // different views then commit different leader chains (detected by the DST
+  // harness's prefix-consistency and oracle invariants).
+  if (seeded_bugs::skip_tusk_support) {
+    return true;
+  }
   const Dag& dag = primary_->dag();
   uint32_t votes = 0;
   for (const auto& [author, cert] : dag.CertsAt(WaveSecondRound(wave))) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/common/seeded_bugs.h"
 #include "src/types/cert_cache.h"
 
 namespace nt {
@@ -25,7 +26,12 @@ Digest CertCacheKey(const Committee& committee, const Certificate& cert) {
 
 // Quorum size, distinct known voters — everything except signatures.
 bool CertStructureOk(const Committee& committee, const Certificate& cert) {
-  if (cert.votes.size() < committee.quorum_threshold()) {
+  // Honest threshold is 2f+1; the seeded accept_2f_certs mutation accepts 2f
+  // (breaks quorum intersection — see src/common/seeded_bugs.h).
+  uint32_t threshold = seeded_bugs::accept_2f_certs
+                           ? std::max(1u, 2 * committee.f())
+                           : committee.quorum_threshold();
+  if (cert.votes.size() < threshold) {
     return false;
   }
   std::set<ValidatorId> seen;

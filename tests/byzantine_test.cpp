@@ -6,6 +6,8 @@
 // running (the paper's §3.1 "Intuitions behind security argument").
 #include <gtest/gtest.h>
 
+#include "src/check/checker.h"
+#include "src/check/schedule.h"
 #include "src/crypto/coin.h"
 #include "src/narwhal/primary.h"
 #include "src/runtime/cluster.h"
@@ -319,6 +321,46 @@ TEST(ByzantineTest, ForgedCertificateRejected) {
                         std::make_shared<MsgCertificate>(forged));
   fixture.scheduler.RunUntil(fixture.scheduler.now() + Seconds(2));
   EXPECT_EQ(fixture.honest[0]->dag().GetCertByDigest(forged.header_digest), nullptr);
+}
+
+// A schedule that marks one validator as an equivocator through the DST
+// fault-injection hook (FaultController::IsEquivocator → Primary splits the
+// committee between two conflicting same-round headers).
+FaultSchedule EquivocatorSchedule() {
+  FaultSchedule s;
+  s.seed = 7;
+  s.system = SystemKind::kNarwhalHs;
+  s.validators = kN;
+  s.duration = Seconds(30);
+  s.tx_interval = Micros(273495);
+  s.loss_rate = 0.01221;
+  s.equivocators.push_back({/*validator=*/1, /*at=*/Micros(1537060)});
+  return s;
+}
+
+// With the honest 2f+1 vote quorum, the two halves of an equivocator's
+// split broadcast cannot both certify (quorum intersection, §4.3): the run
+// must stay clean on every invariant, equivocator notwithstanding.
+TEST(ByzantineTest, EquivocationHookHarmlessUnderHonestQuorum) {
+  CheckResult result = RunSchedule(EquivocatorSchedule());
+  EXPECT_TRUE(result.ok()) << result.Summary();
+  EXPECT_GT(result.commits, 0u);
+}
+
+// Weakening the certificate quorum to 2f signatures (the seeded
+// accept_2f_certs mutation) removes the intersection argument: the same
+// schedule must now produce two distinct certificates for one
+// (round, author) — and the cert-uniqueness invariant must say so.
+TEST(ByzantineTest, EquivocationCertifiesDoublyUnderWeakenedQuorum) {
+  FaultSchedule s = EquivocatorSchedule();
+  s.bug_accept_2f_certs = true;
+  CheckResult result = RunSchedule(s);
+  bool cert_uniqueness = false;
+  for (const Violation& v : result.violations) {
+    cert_uniqueness |= v.invariant == "cert-uniqueness";
+  }
+  EXPECT_TRUE(cert_uniqueness)
+      << "expected a cert-uniqueness violation, got: " << result.Summary();
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+// Tests for the DST harness itself: schedule generation determinism, the
+// text repro format round-trip, and the mutation gate — each seeded protocol
+// weakening (src/common/seeded_bugs.h) must be caught by the invariant
+// checker within the 64-seed CI budget, and the shrinker must reduce the
+// failure to a small repro (≤ 4 validators, ≤ 2 faults).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/check/checker.h"
+#include "src/check/schedule.h"
+#include "src/check/shrinker.h"
+
+namespace nt {
+namespace {
+
+TEST(ScheduleTest, GeneratorIsDeterministic) {
+  for (uint64_t seed : {1ull, 2ull, 33ull, 100ull}) {
+    EXPECT_EQ(GenerateSchedule(seed).Encode(), GenerateSchedule(seed).Encode());
+  }
+  EXPECT_NE(GenerateSchedule(1).Encode(), GenerateSchedule(2).Encode());
+}
+
+TEST(ScheduleTest, SystemOverridePinsTheSystem) {
+  EXPECT_EQ(GenerateSchedule(5, SystemKind::kTusk).system, SystemKind::kTusk);
+  EXPECT_EQ(GenerateSchedule(5, SystemKind::kNarwhalHs).system, SystemKind::kNarwhalHs);
+}
+
+TEST(ScheduleTest, EncodeDecodeRoundTrip) {
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    FaultSchedule s = GenerateSchedule(seed);
+    if (seed % 2 == 0) {
+      s.bug_accept_2f_certs = true;
+    }
+    if (seed % 3 == 0) {
+      s.bug_skip_tusk_support = true;
+    }
+    std::optional<FaultSchedule> decoded = FaultSchedule::Decode(s.Encode());
+    ASSERT_TRUE(decoded.has_value()) << "seed " << seed;
+    EXPECT_EQ(decoded->Encode(), s.Encode()) << "seed " << seed;
+  }
+}
+
+TEST(ScheduleTest, DecodeRejectsMalformedInput) {
+  EXPECT_FALSE(FaultSchedule::Decode("not a schedule").has_value());
+  EXPECT_FALSE(FaultSchedule::Decode("seed=1\nunknown_key=3\n").has_value());
+  EXPECT_FALSE(FaultSchedule::Decode("seed=1\nvalidators=zero\n").has_value());
+}
+
+TEST(ScheduleTest, GeneratedFaultsRespectTheByzantineBudget) {
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    FaultSchedule s = GenerateSchedule(seed);
+    uint32_t f = (s.validators - 1) / 3;
+    EXPECT_LE(s.crashes.size() + s.equivocators.size(), f) << "seed " << seed;
+    EXPECT_GE(s.duration, s.Gst()) << "seed " << seed;
+  }
+}
+
+// Finds the first seed in [1, 64] whose schedule (with `mutate` applied)
+// fails the checker, alternating the system by seed parity so both stacks
+// get half the budget (as `ntcheck --system both` does).
+std::optional<FaultSchedule> FirstFailing(void (*mutate)(FaultSchedule&)) {
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    SystemKind system = (seed % 2 == 0) ? SystemKind::kTusk : SystemKind::kNarwhalHs;
+    FaultSchedule s = GenerateSchedule(seed, system);
+    mutate(s);
+    if (!RunSchedule(s).ok()) {
+      return s;
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(MutationGateTest, AcceptTwoFCertsIsCaughtAndShrinks) {
+  std::optional<FaultSchedule> failing =
+      FirstFailing([](FaultSchedule& s) { s.bug_accept_2f_certs = true; });
+  ASSERT_TRUE(failing.has_value())
+      << "weakened cert quorum (2f signatures) survived 64 fuzz seeds";
+
+  ShrinkResult shrunk = Shrink(*failing);
+  EXPECT_FALSE(shrunk.verdict.ok());
+  EXPECT_LE(shrunk.schedule.validators, 4u);
+  EXPECT_LE(shrunk.schedule.FaultCount(), 2u);
+  // The weakening breaks quorum intersection; the checker must pin it on
+  // certificate uniqueness (§4.3), not merely downstream symptoms.
+  bool cert_uniqueness = false;
+  for (const Violation& v : shrunk.verdict.violations) {
+    cert_uniqueness |= v.invariant == "cert-uniqueness";
+  }
+  EXPECT_TRUE(cert_uniqueness) << shrunk.verdict.Summary();
+}
+
+TEST(MutationGateTest, SkipTuskSupportIsCaughtAndShrinks) {
+  std::optional<FaultSchedule> failing =
+      FirstFailing([](FaultSchedule& s) { s.bug_skip_tusk_support = true; });
+  ASSERT_TRUE(failing.has_value())
+      << "skipped f+1 support check survived 64 fuzz seeds";
+
+  ShrinkResult shrunk = Shrink(*failing);
+  EXPECT_FALSE(shrunk.verdict.ok());
+  EXPECT_LE(shrunk.schedule.validators, 4u);
+  EXPECT_LE(shrunk.schedule.FaultCount(), 2u);
+  // Committing an unsupported leader diverges from the §5 reference replay.
+  bool oracle = false;
+  for (const Violation& v : shrunk.verdict.violations) {
+    oracle |= v.invariant == "oracle-agreement";
+  }
+  EXPECT_TRUE(oracle) << shrunk.verdict.Summary();
+}
+
+}  // namespace
+}  // namespace nt

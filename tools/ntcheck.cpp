@@ -1,0 +1,210 @@
+// ntcheck: deterministic simulation-testing CLI (see src/check/).
+//
+//   ntcheck --seeds 64                 fuzz 64 seeded fault schedules
+//   ntcheck --seeds 64 --start 1000    ... starting from seed 1000
+//   ntcheck --system tusk              pin the system (default: seed picks)
+//   ntcheck --bug accept_2f_certs      mutation mode: enable a seeded bug
+//   ntcheck --replay FILE              replay one repro file
+//   ntcheck --corpus FILE              replay every repro block in FILE
+//   ntcheck --no-shrink                report failures without minimizing
+//   ntcheck --out FILE                 write the shrunk repro here
+//
+// Exit code 0 = all schedules clean, 1 = invariant violation, 2 = usage.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "src/check/checker.h"
+#include "src/check/shrinker.h"
+
+namespace {
+
+using nt::CheckResult;
+using nt::FaultSchedule;
+using nt::SystemKind;
+
+void PrintVerdict(const FaultSchedule& schedule, const CheckResult& result) {
+  std::printf("seed %-8llu %-10s n=%-3u faults=%-2zu commits=%-5llu %s\n",
+              static_cast<unsigned long long>(schedule.seed),
+              schedule.system == SystemKind::kTusk ? "tusk" : "narwhal-hs",
+              schedule.validators, schedule.FaultCount(),
+              static_cast<unsigned long long>(result.commits), result.Summary().c_str());
+  for (const nt::Violation& v : result.violations) {
+    std::printf("    [%s] %s\n", v.invariant.c_str(), v.detail.c_str());
+  }
+}
+
+// Runs one failing schedule through the shrinker and reports/writes the
+// minimized repro. Returns the shrunk schedule's encoding.
+void ShrinkAndReport(const FaultSchedule& schedule, bool shrink, const std::string& out_path) {
+  if (!shrink) {
+    return;
+  }
+  std::printf("shrinking...\n");
+  nt::ShrinkResult shrunk = nt::Shrink(schedule);
+  std::printf("shrunk to n=%u faults=%zu after %u runs: %s\n", shrunk.schedule.validators,
+              shrunk.schedule.FaultCount(), shrunk.runs, shrunk.verdict.Summary().c_str());
+  std::string encoded = shrunk.schedule.Encode();
+  std::printf("---- repro ----\n%s---------------\n", encoded.c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << encoded;
+    std::printf("repro written to %s\n", out_path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seeds = 16;
+  uint64_t start = 1;
+  std::optional<SystemKind> system;
+  bool both_systems = false;
+  bool shrink = true;
+  bool bug_accept_2f = false;
+  bool bug_skip_support = false;
+  std::string replay_path;
+  std::string corpus_path;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      seeds = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--start") {
+      start = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--system") {
+      std::string v = next();
+      if (v == "tusk") {
+        system = SystemKind::kTusk;
+      } else if (v == "narwhal-hs") {
+        system = SystemKind::kNarwhalHs;
+      } else if (v == "both") {
+        both_systems = true;
+      } else {
+        std::fprintf(stderr, "unknown system '%s'\n", v.c_str());
+        return 2;
+      }
+    } else if (arg == "--bug") {
+      std::string v = next();
+      if (v == "accept_2f_certs") {
+        bug_accept_2f = true;
+      } else if (v == "skip_tusk_support") {
+        bug_skip_support = true;
+      } else {
+        std::fprintf(stderr, "unknown bug '%s'\n", v.c_str());
+        return 2;
+      }
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--corpus") {
+      corpus_path = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--no-shrink") {
+      shrink = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: ntcheck [--seeds N] [--start S] [--system tusk|narwhal-hs|both]\n"
+                  "               [--bug accept_2f_certs|skip_tusk_support]\n"
+                  "               [--replay FILE] [--corpus FILE] [--no-shrink] [--out FILE]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  int failures = 0;
+
+  auto run_one = [&](const FaultSchedule& schedule, bool self_check) {
+    CheckResult result = self_check ? nt::RunScheduleWithDeterminismCheck(schedule)
+                                    : nt::RunSchedule(schedule);
+    PrintVerdict(schedule, result);
+    if (!result.ok()) {
+      ++failures;
+      ShrinkAndReport(schedule, shrink, out_path);
+    }
+  };
+
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", replay_path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::optional<FaultSchedule> schedule = FaultSchedule::Decode(buffer.str());
+    if (!schedule.has_value()) {
+      std::fprintf(stderr, "cannot parse repro %s\n", replay_path.c_str());
+      return 2;
+    }
+    run_one(*schedule, /*self_check=*/true);
+    return failures > 0 ? 1 : 0;
+  }
+
+  if (!corpus_path.empty()) {
+    std::ifstream in(corpus_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", corpus_path.c_str());
+      return 2;
+    }
+    // Repro blocks separated by `---` lines; '#' comments allowed.
+    std::string line;
+    std::string block;
+    uint32_t blocks = 0;
+    auto flush = [&] {
+      if (block.find('=') == std::string::npos) {
+        block.clear();
+        return;  // Blank/comment-only block.
+      }
+      std::optional<FaultSchedule> schedule = FaultSchedule::Decode(block);
+      if (!schedule.has_value()) {
+        std::fprintf(stderr, "cannot parse corpus block ending at line %u\n", blocks);
+        std::exit(2);
+      }
+      ++blocks;
+      run_one(*schedule, /*self_check=*/false);
+      block.clear();
+    };
+    while (std::getline(in, line)) {
+      if (line.rfind("---", 0) == 0) {
+        flush();
+      } else {
+        block += line;
+        block += '\n';
+      }
+    }
+    flush();
+    std::printf("corpus: %u repro(s), %d failure(s)\n", blocks, failures);
+    return failures > 0 ? 1 : 0;
+  }
+
+  for (uint64_t i = 0; i < seeds; ++i) {
+    uint64_t seed = start + i;
+    std::optional<SystemKind> pin = system;
+    if (both_systems) {
+      pin = (i % 2 == 0) ? SystemKind::kTusk : SystemKind::kNarwhalHs;
+    }
+    FaultSchedule schedule = nt::GenerateSchedule(seed, pin);
+    schedule.bug_accept_2f_certs = bug_accept_2f;
+    schedule.bug_skip_tusk_support = bug_skip_support;
+    // Determinism self-check piggybacks on the first schedule of each batch.
+    run_one(schedule, /*self_check=*/i == 0);
+    if (failures > 0 && (bug_accept_2f || bug_skip_support)) {
+      break;  // Mutation mode: first caught violation proves the point.
+    }
+  }
+  std::printf("%llu seed(s), %d failure(s)\n", static_cast<unsigned long long>(seeds), failures);
+  return failures > 0 ? 1 : 0;
+}
