@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/common/rng.h"
+#include "src/types/committee.h"
 
 namespace nt {
 
@@ -55,10 +56,9 @@ FaultSchedule GenerateSchedule(uint64_t seed, std::optional<SystemKind> system_o
   // ones exercise multi-fault schedules.
   static constexpr uint32_t kSizes[] = {4, 4, 7, 10};
   s.validators = kSizes[rng.NextBelow(4)];
-  uint32_t f = (s.validators - 1) / 3;
-
   // Fault budget: at most f Byzantine-or-crashed validators total, each
   // validator faulty in at most one way.
+  uint32_t fault_budget = Committee::MaxFaultyFor(s.validators);
   std::vector<ValidatorId> pool;
   for (ValidatorId v = 0; v < s.validators; ++v) {
     pool.push_back(v);
@@ -67,9 +67,9 @@ FaultSchedule GenerateSchedule(uint64_t seed, std::optional<SystemKind> system_o
   for (size_t i = pool.size(); i > 1; --i) {
     std::swap(pool[i - 1], pool[rng.NextBelow(i)]);
   }
-  uint32_t crashes = static_cast<uint32_t>(rng.NextBelow(f + 1));
-  uint32_t equivocators =
-      static_cast<uint32_t>(rng.NextBelow(static_cast<uint64_t>(f - crashes) + 1));
+  uint32_t crashes = static_cast<uint32_t>(rng.NextBelow(fault_budget + 1));
+  uint32_t equivocators = static_cast<uint32_t>(
+      rng.NextBelow(static_cast<uint64_t>(fault_budget - crashes) + 1));
   size_t next = 0;
   for (uint32_t i = 0; i < crashes; ++i) {
     s.crashes.push_back({pool[next++], Seconds(1) + static_cast<TimePoint>(

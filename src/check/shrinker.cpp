@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/types/committee.h"
+
 namespace nt {
 
 namespace {
@@ -42,8 +44,8 @@ std::vector<FaultSchedule> Candidates(const FaultSchedule& s) {
                          t.equivocators.end());
     // The shrunk committee tolerates fewer Byzantine validators; trim the
     // surplus rather than produce an over-budget (> f) schedule.
-    uint32_t f = (t.validators - 1) / 3;
-    while (t.crashes.size() + t.equivocators.size() > f) {
+    uint32_t fault_budget = Committee::MaxFaultyFor(t.validators);
+    while (t.crashes.size() + t.equivocators.size() > fault_budget) {
       if (!t.crashes.empty()) {
         t.crashes.pop_back();
       } else {

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/codec.h"
+#include "src/types/committee.h"
 
 namespace nt {
 namespace {
@@ -56,7 +57,7 @@ uint32_t ShareCoin::Combine(const std::vector<Digest>& shares, uint32_t committe
 
 uint32_t ShareCoin::LeaderOf(uint64_t wave, uint32_t committee_size) const {
   std::vector<Digest> shares;
-  uint32_t threshold = committee_size / 3 + 1;  // f + 1
+  uint32_t threshold = Committee::ValidityThresholdFor(committee_size);  // f + 1
   for (uint32_t i = 0; i < threshold; ++i) {
     shares.push_back(Share(i, wave));
   }

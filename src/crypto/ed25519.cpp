@@ -538,6 +538,7 @@ bool GeDecompressKey(Ge& out, const uint8_t in[32]) {
       return static_cast<size_t>(v);
     }
   };
+  // ntlint:allow(nondet): guards a process-wide memo of pure decompression results — contents never affect protocol output, only speed
   static std::mutex mu;
   static std::unordered_map<std::array<uint8_t, 32>, Ge, KeyHash> cache;
   constexpr size_t kMaxEntries = 4096;

@@ -77,6 +77,7 @@ class FastKeyRegistry {
   }
 
  private:
+  // ntlint:allow(nondet): guards a write-once key registry; lookups are pure reads of deterministic content
   mutable std::mutex mu_;
   std::map<PublicKey, std::array<uint8_t, 32>> keys_;
 };

@@ -1,0 +1,137 @@
+#include "src/lint/lexer.h"
+
+#include <cctype>
+
+namespace nt {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+LexedFile Lex(const std::string& content) {
+  LexedFile out;
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+
+  auto push = [&](TokKind kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      size_t start = i + 2;
+      size_t end = start;
+      while (end < n && content[end] != '\n') {
+        ++end;
+      }
+      out.comments.push_back(Comment{line, content.substr(start, end - start)});
+      i = end;
+      continue;
+    }
+    // Block comment (may span lines).
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      int start_line = line;
+      size_t start = i + 2;
+      size_t end = start;
+      while (end + 1 < n && !(content[end] == '*' && content[end + 1] == '/')) {
+        if (content[end] == '\n') {
+          ++line;
+        }
+        ++end;
+      }
+      out.comments.push_back(Comment{start_line, content.substr(start, end - start)});
+      i = (end + 1 < n) ? end + 2 : n;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      size_t delim_start = i + 2;
+      size_t paren = delim_start;
+      while (paren < n && content[paren] != '(') {
+        ++paren;
+      }
+      std::string closer = ")" + content.substr(delim_start, paren - delim_start) + "\"";
+      size_t end = content.find(closer, paren);
+      if (end == std::string::npos) {
+        end = n;
+      } else {
+        end += closer.size();
+      }
+      for (size_t k = i; k < end; ++k) {
+        if (content[k] == '\n') {
+          ++line;
+        }
+      }
+      push(TokKind::kString, content.substr(i, end - i));
+      i = end;
+      continue;
+    }
+    // String / char literal with escapes.
+    if (c == '"' || c == '\'') {
+      size_t end = i + 1;
+      while (end < n && content[end] != c) {
+        if (content[end] == '\\' && end + 1 < n) {
+          ++end;
+        }
+        if (content[end] == '\n') {
+          ++line;
+        }
+        ++end;
+      }
+      if (end < n) {
+        ++end;  // Consume the closing quote.
+      }
+      push(c == '"' ? TokKind::kString : TokKind::kChar, content.substr(i, end - i));
+      i = end;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t end = i;
+      while (end < n && IsIdentChar(content[end])) {
+        ++end;
+      }
+      push(TokKind::kIdent, content.substr(i, end - i));
+      i = end;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t end = i;
+      // Accept digits, hex letters, separators, exponents and suffixes as one
+      // blob — the rules only ever compare small decimal literals exactly.
+      while (end < n && (IsIdentChar(content[end]) || content[end] == '\'' ||
+                         content[end] == '.')) {
+        ++end;
+      }
+      push(TokKind::kNumber, content.substr(i, end - i));
+      i = end;
+      continue;
+    }
+    // "::" is the one multi-char punctuator the rules care about.
+    if (c == ':' && i + 1 < n && content[i + 1] == ':') {
+      push(TokKind::kPunct, "::");
+      i += 2;
+      continue;
+    }
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace nt

@@ -1,0 +1,46 @@
+// Minimal C++ lexer for ntlint. Produces a flat token stream (identifiers,
+// numbers, string/char literals, punctuation) plus the comment text per line,
+// which is where `ntlint:allow(...)` suppression annotations live. This is a
+// *file-level* lexer: no preprocessing, no macro expansion — exactly enough
+// syntax to drive the token-pattern rules in rules.cpp.
+#ifndef SRC_LINT_LEXER_H_
+#define SRC_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace nt {
+namespace lint {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,  // Single characters, except "::" which is merged into one token.
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based.
+};
+
+struct Comment {
+  int line;  // Line the comment starts on.
+  std::string text;  // Without the // or /* */ markers.
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+// Tokenizes `content`. Never fails: unrecognized bytes become single-char
+// punctuation tokens, and an unterminated literal is closed at end of file.
+LexedFile Lex(const std::string& content);
+
+}  // namespace lint
+}  // namespace nt
+
+#endif  // SRC_LINT_LEXER_H_

@@ -1,0 +1,271 @@
+#include "src/lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/lint/lexer.h"
+#include "src/lint/rules.h"
+
+namespace nt {
+namespace lint {
+namespace {
+
+struct Allow {
+  int line = 0;
+  std::vector<std::string> rules;
+  std::string reason;
+  bool used = false;
+};
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+// Extracts `ntlint:allow(rule[,rule...]): reason` annotations from comments.
+std::vector<Allow> ParseAllows(const std::vector<Comment>& comments) {
+  std::vector<Allow> allows;
+  for (const Comment& c : comments) {
+    size_t pos = c.text.find("ntlint:allow(");
+    if (pos == std::string::npos) {
+      continue;
+    }
+    size_t open = pos + std::string("ntlint:allow").size();
+    size_t close = c.text.find(')', open);
+    if (close == std::string::npos) {
+      continue;
+    }
+    Allow a;
+    a.line = c.line;
+    // Only known rule names count: documentation that merely quotes the
+    // annotation syntax (e.g. "ntlint:allow(<rule>)") must not parse as a
+    // live suppression, and a typo'd rule leaves the finding unsuppressed —
+    // which surfaces the typo.
+    static const char* kKnownRules[] = {kRuleNondet, kRuleUnorderedIter, kRuleQuorumArith,
+                                        kRuleCodecMismatch, kRulePointerKey};
+    std::stringstream rules(c.text.substr(open + 1, close - open - 1));
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      rule = Trim(rule);
+      for (const char* known : kKnownRules) {
+        if (rule == known) {
+          a.rules.push_back(rule);
+          break;
+        }
+      }
+    }
+    size_t colon = c.text.find(':', close);
+    if (colon != std::string::npos) {
+      a.reason = Trim(c.text.substr(colon + 1));
+    }
+    if (!a.rules.empty()) {
+      allows.push_back(std::move(a));
+    }
+  }
+  return allows;
+}
+
+// Repo-relative path ("src/..." or "bench/...") so rule scoping works no
+// matter where the tool is invoked from.
+std::string RelPath(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  for (const char* anchor : {"/src/", "/bench/"}) {
+    size_t pos = path.rfind(anchor);
+    if (pos != std::string::npos) {
+      return path.substr(pos + 1);
+    }
+  }
+  return path;
+}
+
+bool IsSourceFile(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+}  // namespace
+
+FileReport LintSource(const std::string& path, const std::string& content) {
+  return LintSourceWithCompanion(path, content, nullptr);
+}
+
+FileReport LintSourceWithCompanion(const std::string& path, const std::string& content,
+                                   const std::string* companion_content) {
+  FileReport report;
+  report.path = path;
+  const std::string rel = RelPath(path);
+  LexedFile lex = Lex(content);
+  LexedFile companion;
+  if (companion_content != nullptr) {
+    companion = Lex(*companion_content);
+  }
+  std::vector<Finding> findings =
+      RunRules(rel, lex, companion_content != nullptr ? &companion : nullptr);
+  std::vector<Allow> allows = ParseAllows(lex.comments);
+
+  for (Finding& f : findings) {
+    f.path = path;
+    for (Allow& a : allows) {
+      // An annotation covers its own line (trailing comment) and the line
+      // directly below it (annotation-above style).
+      if (a.line != f.line && a.line + 1 != f.line) {
+        continue;
+      }
+      if (std::find(a.rules.begin(), a.rules.end(), f.rule) == a.rules.end()) {
+        continue;
+      }
+      f.suppressed = true;
+      f.allow_reason = a.reason;
+      a.used = true;
+      break;
+    }
+  }
+  for (const Allow& a : allows) {
+    if (!a.used) {
+      std::string rules;
+      for (const std::string& r : a.rules) {
+        rules += (rules.empty() ? "" : ",") + r;
+      }
+      report.unused_allows.emplace_back(a.line, rules);
+    }
+  }
+  report.findings = std::move(findings);
+  return report;
+}
+
+FileReport LintFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    FileReport report;
+    report.path = path;
+    Finding f;
+    f.rule = "io-error";
+    f.path = path;
+    f.line = 0;
+    f.message = "cannot read file";
+    report.findings.push_back(std::move(f));
+    return report;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  // For a .cpp, feed the sibling header's declarations to rule R2.
+  std::string companion_content;
+  bool have_companion = false;
+  std::filesystem::path p(path);
+  if (p.extension() == ".cpp" || p.extension() == ".cc") {
+    std::filesystem::path header = p;
+    header.replace_extension(".h");
+    std::ifstream hin(header, std::ios::binary);
+    if (hin) {
+      std::stringstream hbuf;
+      hbuf << hin.rdbuf();
+      companion_content = hbuf.str();
+      have_companion = true;
+    }
+  }
+  return LintSourceWithCompanion(path, buf.str(),
+                                 have_companion ? &companion_content : nullptr);
+}
+
+std::vector<std::string> CollectSourceFiles(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    files.push_back(root);
+    return files;
+  }
+  if (!fs::is_directory(root, ec)) {
+    return files;
+  }
+  fs::recursive_directory_iterator it(root, fs::directory_options::skip_permission_denied, ec);
+  fs::recursive_directory_iterator end;
+  for (; it != end; it.increment(ec)) {
+    const fs::path& p = it->path();
+    const std::string name = p.filename().string();
+    if (it->is_directory(ec)) {
+      if (!name.empty() && (name[0] == '.' || name.rfind("build", 0) == 0)) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (it->is_regular_file(ec) && IsSourceFile(p)) {
+      files.push_back(p.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Summary LintPaths(const std::vector<std::string>& paths) {
+  Summary summary;
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::vector<std::string> collected = CollectSourceFiles(p);
+    files.insert(files.end(), collected.begin(), collected.end());
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  for (const std::string& f : files) {
+    FileReport report = LintFile(f);
+    for (const Finding& fnd : report.findings) {
+      ++summary.total;
+      if (fnd.suppressed) {
+        ++summary.suppressed;
+      }
+    }
+    if (!report.findings.empty() || !report.unused_allows.empty()) {
+      summary.files.push_back(std::move(report));
+    }
+  }
+  return summary;
+}
+
+std::string FormatSummary(const Summary& summary, bool verbose) {
+  std::ostringstream out;
+  for (const FileReport& file : summary.files) {
+    for (const Finding& f : file.findings) {
+      if (f.suppressed && !verbose) {
+        continue;
+      }
+      out << f.path << ":" << f.line << ": [" << f.rule << "] "
+          << (f.suppressed ? "(suppressed) " : "") << f.message << "\n";
+    }
+  }
+  // The suppression budget is always visible: every allow annotation in
+  // effect is listed so exceptions cannot accumulate silently.
+  if (summary.suppressed > 0) {
+    out << "\nsuppressed findings (" << summary.suppressed << "):\n";
+    for (const FileReport& file : summary.files) {
+      for (const Finding& f : file.findings) {
+        if (f.suppressed) {
+          out << "  " << f.path << ":" << f.line << " [" << f.rule << "] "
+              << (f.allow_reason.empty() ? "(no reason given)" : f.allow_reason) << "\n";
+        }
+      }
+    }
+  }
+  bool header_printed = false;
+  for (const FileReport& file : summary.files) {
+    for (const auto& [line, rules] : file.unused_allows) {
+      if (!header_printed) {
+        out << "\nstale allow annotations (matched no finding):\n";
+        header_printed = true;
+      }
+      out << "  " << file.path << ":" << line << " [" << rules << "]\n";
+    }
+  }
+  out << "\nntlint: " << summary.total << " finding(s), " << summary.suppressed
+      << " suppressed, " << summary.unsuppressed() << " unsuppressed\n";
+  return out.str();
+}
+
+}  // namespace lint
+}  // namespace nt

@@ -1,0 +1,97 @@
+// ntlint — determinism & protocol-safety static analysis for this repo.
+//
+// The whole reproduction rests on one property: a seeded run is a pure
+// function of its seed. PR 3's simulation harness *checks* that property
+// (double-run event-hash compare), but a fuzz pass can only tell you the
+// schedules it tried were deterministic. ntlint enforces the property's
+// preconditions at the source level, where violations are introduced:
+//
+//   R1 nondet          banned wall-clock / ambient-entropy / threading
+//                      identifiers outside src/sim/ and bench/.
+//   R2 unordered-iter  iteration over std::unordered_{map,set} whose loop
+//                      body lets the (seed-dependent, implementation-defined)
+//                      bucket order escape into messages, hashes, encodings,
+//                      or accumulated state.
+//   R3 quorum-arith    literal threshold arithmetic (2f, 2f+1, f+1, n/3)
+//                      outside the blessed Committee helpers — the "2f vs
+//                      2f+1" slip class that breaks quorum intersection.
+//   R4 codec-mismatch  an Encode/Decode pair whose field op sequences drift
+//                      (silent serialize/deserialize skew).
+//   R5 pointer-key     containers ordered or keyed by raw pointer value
+//                      (ASLR makes the order differ run to run).
+//
+// Findings are suppressable only with an inline annotation on the same line
+// or the line above:
+//
+//   // ntlint:allow(<rule>[,<rule>...]): <reason>
+//
+// Every suppression is counted and echoed in the tool's summary, so the
+// exception budget stays visible in code review.
+#ifndef SRC_LINT_LINT_H_
+#define SRC_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace nt {
+namespace lint {
+
+// Rule identifiers (also the names accepted inside allow annotations).
+inline constexpr const char* kRuleNondet = "nondet";
+inline constexpr const char* kRuleUnorderedIter = "unordered-iter";
+inline constexpr const char* kRuleQuorumArith = "quorum-arith";
+inline constexpr const char* kRuleCodecMismatch = "codec-mismatch";
+inline constexpr const char* kRulePointerKey = "pointer-key";
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+  std::string allow_reason;  // Set when suppressed.
+};
+
+struct FileReport {
+  std::string path;
+  std::vector<Finding> findings;  // Ordered by line.
+  // Annotations that matched no finding (likely stale) — reported, not fatal.
+  std::vector<std::pair<int, std::string>> unused_allows;
+};
+
+struct Summary {
+  std::vector<FileReport> files;
+  int total = 0;
+  int suppressed = 0;
+  int unsuppressed() const { return total - suppressed; }
+};
+
+// Lints one translation unit given as an in-memory string. `path` determines
+// which rules apply (rule scoping is by directory, see rules.cpp); it does
+// not have to exist on disk — tests lint synthetic fixtures this way.
+FileReport LintSource(const std::string& path, const std::string& content);
+
+// As LintSource, with the sibling header's content supplied so rule R2 can
+// see member declarations of the .cpp being linted (may be null).
+FileReport LintSourceWithCompanion(const std::string& path, const std::string& content,
+                                   const std::string* companion_content);
+
+// Reads and lints a file from disk. A missing/unreadable file yields a
+// single finding so CI cannot silently skip anything.
+FileReport LintFile(const std::string& path);
+
+// Recursively collects the .h/.cpp/.cc files under `root` (or `root` itself
+// if it is a regular file), sorted lexicographically so runs are
+// reproducible. Hidden directories and build trees ("build*") are skipped.
+std::vector<std::string> CollectSourceFiles(const std::string& root);
+
+// Lints every path (files or directories) and aggregates.
+Summary LintPaths(const std::vector<std::string>& paths);
+
+// Renders findings + the suppression report to a string (the CLI output).
+std::string FormatSummary(const Summary& summary, bool verbose);
+
+}  // namespace lint
+}  // namespace nt
+
+#endif  // SRC_LINT_LINT_H_

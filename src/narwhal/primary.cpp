@@ -14,6 +14,7 @@ namespace {
 // seeded accept_2f_certs mutation drops it to 2f, breaking quorum
 // intersection (mutation-tests the DST harness, see src/common/seeded_bugs.h).
 uint32_t CertVoteThreshold(const Committee& committee) {
+  // ntlint:allow(quorum-arith): deliberate seeded mutation — 2f (not 2f+1) breaks quorum intersection to mutation-test the DST harness
   return seeded_bugs::accept_2f_certs ? std::max(1u, 2 * committee.f())
                                       : committee.quorum_threshold();
 }

@@ -6,7 +6,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/common/time.h"
@@ -98,9 +98,11 @@ class FaultController {
     double factor;
   };
 
-  std::unordered_map<uint32_t, TimePoint> crash_times_;
-  std::unordered_map<uint32_t, TimePoint> equivocators_;
-  std::unordered_map<uint32_t, std::vector<Window>> isolations_;
+  // Ordered: fault state is part of the deterministic-replay surface, and an
+  // ordered map keeps any iteration over it independent of hash seeding.
+  std::map<uint32_t, TimePoint> crash_times_;
+  std::map<uint32_t, TimePoint> equivocators_;
+  std::map<uint32_t, std::vector<Window>> isolations_;
   std::vector<AsyncWindow> async_windows_;
   double loss_rate_ = 0.0;
 };

@@ -18,7 +18,6 @@
 #include <cstdint>
 #include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -135,9 +134,12 @@ class Network {
   mutable Rng rng_;
 
   std::vector<NodeSlot> nodes_;
-  std::unordered_map<uint32_t, MachineState> machines_;
+  // Ordered: the fabric sits on the deterministic-replay critical path, so
+  // even incidental iteration (stats, debugging dumps) must not depend on
+  // hash seeding.
+  std::map<uint32_t, MachineState> machines_;
   // FIFO clamp per (src node << 32 | dst node) — one TCP stream per pair.
-  std::unordered_map<uint64_t, TimePoint> last_delivery_;
+  std::map<uint64_t, TimePoint> last_delivery_;
   uint32_t next_machine_ = 0;
 
   uint64_t messages_sent_ = 0;

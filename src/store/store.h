@@ -10,11 +10,10 @@
 #define SRC_STORE_STORE_H_
 
 #include <cstdio>
-#include <cstring>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
 #include "src/common/bytes.h"
 #include "src/crypto/hash.h"
@@ -49,16 +48,9 @@ class MemStore : public Store {
   size_t size() const override { return map_.size(); }
 
  private:
-  struct DigestHash {
-    size_t operator()(const Digest& d) const {
-      size_t h;
-      static_assert(sizeof(h) <= 32);
-      std::memcpy(&h, d.data(), sizeof(h));
-      return h;
-    }
-  };
-
-  std::unordered_map<Digest, Bytes, DigestHash> map_;
+  // Ordered so that any future iteration (dumps, state sync, WAL compaction)
+  // is deterministic by construction rather than hash-seed dependent.
+  std::map<Digest, Bytes> map_;
 };
 
 // Append-only WAL-backed store. Every mutation is written as a

@@ -25,8 +25,8 @@
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <mutex>
-#include <unordered_map>
 
 #include "src/crypto/hash.h"
 
@@ -77,22 +77,14 @@ class VerifiedCertCache {
     Digest key{};
     uint64_t round = 0;
   };
-  struct KeyHash {
-    size_t operator()(const Digest& d) const {
-      // Digest bytes are uniform; the first 8 are a fine hash.
-      uint64_t h = 0;
-      for (int i = 0; i < 8; ++i) {
-        h |= static_cast<uint64_t>(d[i]) << (8 * i);
-      }
-      return static_cast<size_t>(h);
-    }
-  };
-
+  // ntlint:allow(nondet): guards tool/test access to the static default instances; protocol nodes own per-instance caches and never contend
   mutable std::mutex mu_;
   size_t capacity_;
   uint64_t gc_round_ = 0;
   std::list<Entry> lru_;  // Front = most recently used.
-  std::unordered_map<Digest, std::list<Entry>::iterator, KeyHash> index_;
+  // Ordered so GC sweeps (which iterate) visit entries in digest order, a
+  // deterministic order regardless of insertion history or hash seeding.
+  std::map<Digest, std::list<Entry>::iterator> index_;
   Stats stats_;
 };
 

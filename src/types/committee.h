@@ -31,14 +31,27 @@ class Committee {
 
   uint32_t size() const { return static_cast<uint32_t>(validators_.size()); }
 
+  // The blessed home of all quorum arithmetic. Every threshold in the tree
+  // routes through these helpers (or the instance methods below, which
+  // delegate) — enforced by ntlint rule R3 (quorum-arith), so a typo'd
+  // literal like `2*f` elsewhere is a build failure, not a latent safety bug.
+
   // Maximum number of Byzantine validators tolerated: f = floor((n-1)/3).
-  uint32_t f() const { return (size() - 1) / 3; }
+  static constexpr uint32_t MaxFaultyFor(uint32_t n) { return (n - 1) / 3; }
 
   // 2f+1 — certificates of availability, round advancement.
-  uint32_t quorum_threshold() const { return 2 * f() + 1; }
+  static constexpr uint32_t QuorumThresholdFor(uint32_t n) {
+    return 2 * MaxFaultyFor(n) + 1;
+  }
 
   // f+1 — guaranteed to include one honest validator (Tusk commit rule).
-  uint32_t validity_threshold() const { return f() + 1; }
+  static constexpr uint32_t ValidityThresholdFor(uint32_t n) {
+    return MaxFaultyFor(n) + 1;
+  }
+
+  uint32_t f() const { return MaxFaultyFor(size()); }
+  uint32_t quorum_threshold() const { return QuorumThresholdFor(size()); }
+  uint32_t validity_threshold() const { return ValidityThresholdFor(size()); }
 
   const ValidatorInfo& validator(ValidatorId id) const { return validators_[id]; }
   const PublicKey& key_of(ValidatorId id) const { return validators_[id].key; }

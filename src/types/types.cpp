@@ -28,9 +28,9 @@ Digest CertCacheKey(const Committee& committee, const Certificate& cert) {
 bool CertStructureOk(const Committee& committee, const Certificate& cert) {
   // Honest threshold is 2f+1; the seeded accept_2f_certs mutation accepts 2f
   // (breaks quorum intersection — see src/common/seeded_bugs.h).
-  uint32_t threshold = seeded_bugs::accept_2f_certs
-                           ? std::max(1u, 2 * committee.f())
-                           : committee.quorum_threshold();
+  // ntlint:allow(quorum-arith): deliberate seeded mutation — 2f (not 2f+1) breaks quorum intersection to mutation-test the DST harness
+  uint32_t threshold = seeded_bugs::accept_2f_certs ? std::max(1u, 2 * committee.f())
+                                                    : committee.quorum_threshold();
   if (cert.votes.size() < threshold) {
     return false;
   }

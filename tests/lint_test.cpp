@@ -1,0 +1,393 @@
+// ntlint fixture corpus: every rule R1–R5 is proven to fire on positive
+// snippets and stay silent on negatives, the allow-annotation machinery is
+// exercised end to end, and the real tree is linted so the suite fails the
+// moment a violation (or a stale suppression) lands in src/.
+#include "src/lint/lint.h"
+
+#include <algorithm>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace nt {
+namespace lint {
+namespace {
+
+int CountRule(const FileReport& r, const char* rule, bool include_suppressed = true) {
+  int n = 0;
+  for (const Finding& f : r.findings) {
+    if (f.rule == rule && (include_suppressed || !f.suppressed)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int Unsuppressed(const FileReport& r) {
+  int n = 0;
+  for (const Finding& f : r.findings) {
+    if (!f.suppressed) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// ------------------------------------------------------------------ R1 nondet
+
+TEST(NondetRule, FlagsBannedIncludeAndClockChain) {
+  FileReport r = LintSource("src/narwhal/worker.cpp", R"(
+#include <chrono>
+void Tick() {
+  auto t = std::chrono::steady_clock::now();
+}
+)");
+  EXPECT_GE(CountRule(r, kRuleNondet), 2);  // The include and the chain.
+}
+
+TEST(NondetRule, FlagsLibcEntropyAndEnvironment) {
+  FileReport r = LintSource("src/tusk/tusk.cpp", R"(
+int Jitter() { return rand() % 7; }
+const char* Home() { return getenv("HOME"); }
+long Now() { return time(nullptr); }
+)");
+  EXPECT_EQ(CountRule(r, kRuleNondet), 3);
+}
+
+TEST(NondetRule, FlagsMutexDeclarationOncePerLock) {
+  FileReport r = LintSource("src/types/cache.h", R"(
+class C {
+  std::mutex mu_;
+  void F() { std::lock_guard<std::mutex> lock(mu_); }
+  void G() { std::lock_guard<std::mutex> lock(mu_); }
+};
+)");
+  // One finding at the declaration; the lock_guard type mentions are not
+  // declarations (next token is not an identifier) and stay silent.
+  EXPECT_EQ(CountRule(r, kRuleNondet), 1);
+  EXPECT_EQ(r.findings[0].line, 3);
+}
+
+TEST(NondetRule, SimulatorAndBenchAreExempt) {
+  const char* body = R"(
+#include <chrono>
+uint64_t WallNow() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+int Entropy() { return rand(); }
+)";
+  EXPECT_EQ(CountRule(LintSource("src/sim/wallclock.cpp", body), kRuleNondet), 0);
+  EXPECT_EQ(CountRule(LintSource("bench/driver.cpp", body), kRuleNondet), 0);
+}
+
+TEST(NondetRule, TimeWithRealArgumentIsNotTheWallClockPattern) {
+  FileReport r = LintSource("src/exec/state.cpp", R"(
+void Stamp(Tx* tx, uint64_t logical) { tx->time(logical); }
+)");
+  EXPECT_EQ(CountRule(r, kRuleNondet), 0);
+}
+
+// ---------------------------------------------------------- R2 unordered-iter
+
+TEST(UnorderedIterRule, FlagsRangeForThatSerializes) {
+  FileReport r = LintSource("src/narwhal/dag.cpp", R"(
+std::unordered_map<uint32_t, Digest> pending_;
+void Emit(Writer& w) {
+  for (const auto& [id, d] : pending_) {
+    w.PutU32(id);
+  }
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleUnorderedIter), 1);
+}
+
+TEST(UnorderedIterRule, FlagsIteratorLoopThatSends) {
+  FileReport r = LintSource("src/net/router.cpp", R"(
+std::unordered_set<uint32_t> peers_;
+void Flood(const Msg& m) {
+  for (auto it = peers_.begin(); it != peers_.end(); ++it) {
+    SendTo(*it, m);
+  }
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleUnorderedIter), 1);
+}
+
+TEST(UnorderedIterRule, MemberDeclaredInCompanionHeaderIsSeen) {
+  const std::string header = R"(
+class Pool {
+  std::unordered_map<uint64_t, Entry> entries_;
+};
+)";
+  FileReport r = LintSourceWithCompanion("src/narwhal/pool.cpp", R"(
+void Pool::Dump(Sha256& h) {
+  for (const auto& [k, e] : entries_) {
+    h.Update(k);
+  }
+}
+)",
+                                         &header);
+  EXPECT_EQ(CountRule(r, kRuleUnorderedIter), 1);
+}
+
+TEST(UnorderedIterRule, PureReadBodyIsSilent) {
+  FileReport r = LintSource("src/narwhal/dag.cpp", R"(
+std::unordered_map<uint32_t, uint64_t> weights_;
+uint64_t Max() {
+  uint64_t best = 0;
+  for (const auto& [id, w] : weights_) {
+    best = std::max(best, w);
+  }
+  return best;
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleUnorderedIter), 0);
+}
+
+TEST(UnorderedIterRule, OrderedContainerIsSilent) {
+  FileReport r = LintSource("src/narwhal/dag.cpp", R"(
+std::map<uint32_t, Digest> pending_;
+void Emit(Writer& w) {
+  for (const auto& [id, d] : pending_) {
+    w.PutU32(id);
+  }
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleUnorderedIter), 0);
+}
+
+// ------------------------------------------------------------ R3 quorum-arith
+
+TEST(QuorumArithRule, FlagsLiteralThresholds) {
+  FileReport r = LintSource("src/tusk/commit.cpp", R"(
+bool Quorate(uint32_t votes, uint32_t f) { return votes >= 2 * f + 1; }
+bool OneHonest(uint32_t votes, const Committee& c) { return votes >= c.f() + 1; }
+)");
+  EXPECT_EQ(CountRule(r, kRuleQuorumArith), 2);
+}
+
+TEST(QuorumArithRule, FlagsDivisionByThree) {
+  FileReport r = LintSource("src/hotstuff/pacemaker.cpp", R"(
+uint32_t Faulty(uint32_t n) { return (n - 1) / 3; }
+)");
+  EXPECT_EQ(CountRule(r, kRuleQuorumArith), 1);
+}
+
+TEST(QuorumArithRule, CommitteeHelpersAreSilent) {
+  FileReport r = LintSource("src/tusk/commit.cpp", R"(
+bool Quorate(uint32_t votes, const Committee& c) {
+  return votes >= c.quorum_threshold() && votes >= Committee::ValidityThresholdFor(c.size());
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleQuorumArith), 0);
+}
+
+TEST(QuorumArithRule, OutOfScopePathsAndTheBlessedHomeAreSilent) {
+  const char* body = "uint32_t q = 2 * f + 1; uint32_t m = n / 3;\n";
+  EXPECT_EQ(CountRule(LintSource("src/net/latency.cpp", body), kRuleQuorumArith), 0);
+  EXPECT_EQ(CountRule(LintSource("src/types/committee.h", body), kRuleQuorumArith), 0);
+}
+
+// ---------------------------------------------------------- R4 codec-mismatch
+
+TEST(CodecMismatchRule, FlagsFieldCountDrift) {
+  FileReport r = LintSource("src/types/wire.h", R"(
+struct Pair {
+  uint32_t a = 0;
+  uint64_t b = 0;
+  void Encode(Writer& w) const {
+    w.PutU32(a);
+    w.PutU64(b);
+  }
+  static Pair Decode(Reader& r) {
+    Pair p;
+    p.a = r.GetU32();
+    return p;
+  }
+};
+)");
+  EXPECT_EQ(CountRule(r, kRuleCodecMismatch), 1);
+}
+
+TEST(CodecMismatchRule, FlagsFieldKindDrift) {
+  FileReport r = LintSource("src/types/wire.h", R"(
+struct Rec {
+  void Encode(Writer& w) const { w.PutU32(x); w.PutU64(y); }
+  static Rec Decode(Reader& r) {
+    Rec out;
+    out.x = r.GetU64();
+    out.y = r.GetU32();
+    return out;
+  }
+};
+)");
+  EXPECT_EQ(CountRule(r, kRuleCodecMismatch), 1);
+}
+
+TEST(CodecMismatchRule, MatchingPairAndOneSidedCodecAreSilent) {
+  FileReport r = LintSource("src/types/wire.h", R"(
+struct Ok {
+  void Encode(Writer& w) const {
+    w.PutU32(a);
+    w.PutString(name);
+    inner.Encode(w);
+  }
+  static Ok Decode(Reader& r) {
+    Ok o;
+    o.a = r.GetU32();
+    o.name = r.GetString();
+    o.inner = Inner::Decode(r);
+    return o;
+  }
+};
+struct Preimage {
+  void Encode(Writer& w) const { w.PutU64(seq); }
+};
+)");
+  EXPECT_EQ(CountRule(r, kRuleCodecMismatch), 0);
+}
+
+TEST(CodecMismatchRule, OutOfClassDefinitionsPairByQualifiedName) {
+  FileReport r = LintSource("src/types/wire.cpp", R"(
+void Vote::Encode(Writer& w) const {
+  w.PutU64(round);
+  w.PutU32(voter);
+}
+Vote Vote::Decode(Reader& r) {
+  Vote v;
+  v.round = r.GetU64();
+  return v;
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleCodecMismatch), 1);
+}
+
+// ------------------------------------------------------------- R5 pointer-key
+
+TEST(PointerKeyRule, FlagsPointerKeyedContainers) {
+  FileReport r = LintSource("src/narwhal/dag.h", R"(
+std::map<Node*, uint64_t> depth_;
+std::unordered_set<const Block*> seen_;
+)");
+  EXPECT_EQ(CountRule(r, kRulePointerKey), 2);
+}
+
+TEST(PointerKeyRule, PointerValuesAreFine) {
+  FileReport r = LintSource("src/narwhal/dag.h", R"(
+std::map<uint32_t, Node*> by_id_;
+std::unordered_map<Digest, const Block*, DigestHash> blocks_;
+)");
+  EXPECT_EQ(CountRule(r, kRulePointerKey), 0);
+}
+
+// --------------------------------------------------------- allow annotations
+
+TEST(AllowAnnotation, SuppressesOnLineAboveAndCapturesReason) {
+  FileReport r = LintSource("src/tusk/commit.cpp", R"(
+// ntlint:allow(quorum-arith): fixture exception
+uint32_t q = 2 * f + 1;
+)");
+  ASSERT_EQ(static_cast<int>(r.findings.size()), 1);
+  EXPECT_TRUE(r.findings[0].suppressed);
+  EXPECT_EQ(r.findings[0].allow_reason, "fixture exception");
+  EXPECT_EQ(Unsuppressed(r), 0);
+  EXPECT_TRUE(r.unused_allows.empty());
+}
+
+TEST(AllowAnnotation, SuppressesTrailingSameLineComment) {
+  FileReport r = LintSource("src/tusk/commit.cpp",
+                            "uint32_t q = 2 * f + 1;  // ntlint:allow(quorum-arith): inline\n");
+  ASSERT_EQ(static_cast<int>(r.findings.size()), 1);
+  EXPECT_TRUE(r.findings[0].suppressed);
+}
+
+TEST(AllowAnnotation, MultiRuleListSuppressesEachNamedRule) {
+  FileReport r = LintSource("src/tusk/commit.cpp", R"(
+// ntlint:allow(quorum-arith,nondet): mixed-violation line
+uint32_t q = 2 * f + 1 + rand();
+)");
+  EXPECT_GE(static_cast<int>(r.findings.size()), 2);
+  EXPECT_EQ(Unsuppressed(r), 0);
+}
+
+TEST(AllowAnnotation, WrongRuleDoesNotSuppressAndIsReportedStale) {
+  FileReport r = LintSource("src/tusk/commit.cpp", R"(
+// ntlint:allow(nondet): names the wrong rule
+uint32_t q = 2 * f + 1;
+)");
+  ASSERT_EQ(static_cast<int>(r.findings.size()), 1);
+  EXPECT_FALSE(r.findings[0].suppressed);
+  EXPECT_EQ(static_cast<int>(r.unused_allows.size()), 1);
+}
+
+TEST(AllowAnnotation, UnknownRuleNameIsIgnoredEntirely) {
+  // Doc text that merely quotes the syntax must not register as a live (or
+  // stale) suppression.
+  FileReport r = LintSource("src/tusk/commit.cpp", R"(
+// The syntax is ntlint:allow(<rule>): <reason>.
+// ntlint:allow(bogus-rule): not a real rule
+uint32_t q = 2 * f + 1;
+)");
+  ASSERT_EQ(static_cast<int>(r.findings.size()), 1);
+  EXPECT_FALSE(r.findings[0].suppressed);
+  EXPECT_TRUE(r.unused_allows.empty());
+}
+
+TEST(AllowAnnotation, DistantAnnotationDoesNotLeak) {
+  FileReport r = LintSource("src/tusk/commit.cpp", R"(
+// ntlint:allow(quorum-arith): too far away
+uint32_t unrelated = 0;
+uint32_t q = 2 * f + 1;
+)");
+  ASSERT_EQ(static_cast<int>(r.findings.size()), 1);
+  EXPECT_FALSE(r.findings[0].suppressed);
+  EXPECT_EQ(static_cast<int>(r.unused_allows.size()), 1);
+}
+
+// ------------------------------------------------------------- the real tree
+
+#ifdef NT_SOURCE_DIR
+
+TEST(RealTree, SrcIsCleanOfUnsuppressedFindings) {
+  Summary s = LintPaths({std::string(NT_SOURCE_DIR) + "/src"});
+  EXPECT_EQ(s.unsuppressed(), 0) << FormatSummary(s, /*verbose=*/true);
+  // Stale annotations are not fatal for the CLI, but the tree must not
+  // accumulate them either.
+  for (const FileReport& f : s.files) {
+    EXPECT_TRUE(f.unused_allows.empty()) << f.path << " has stale allow annotations";
+  }
+}
+
+// The seeded mutations (src/common/seeded_bugs.h) deliberately implement the
+// "2f instead of 2f+1" bug class R3 exists to catch. Self-check: the linter
+// does see those sites, and they are suppressed by explicit annotations —
+// not invisible to the rule.
+TEST(RealTree, SeededQuorumBugsAreExplicitlyAnnotated) {
+  Summary s = LintPaths({std::string(NT_SOURCE_DIR) + "/src"});
+  int seeded_sites = 0;
+  for (const FileReport& f : s.files) {
+    const bool seeded_file = f.path.find("src/types/types.cpp") != std::string::npos ||
+                             f.path.find("src/narwhal/primary.cpp") != std::string::npos;
+    for (const Finding& fnd : f.findings) {
+      if (seeded_file && fnd.rule == kRuleQuorumArith) {
+        EXPECT_TRUE(fnd.suppressed) << f.path << ":" << fnd.line;
+        EXPECT_FALSE(fnd.allow_reason.empty()) << f.path << ":" << fnd.line;
+        ++seeded_sites;
+      }
+    }
+  }
+  EXPECT_EQ(seeded_sites, 2);  // CertStructureOk and CertVoteThreshold.
+}
+
+// The DST harness (src/check/) computes fault budgets from committee sizes;
+// after routing through Committee::MaxFaultyFor it must lint clean with no
+// suppressions at all.
+TEST(RealTree, CheckHarnessNeedsNoSuppressions) {
+  Summary s = LintPaths({std::string(NT_SOURCE_DIR) + "/src/check",
+                         std::string(NT_SOURCE_DIR) + "/src/common/seeded_bugs.cpp"});
+  EXPECT_EQ(s.total, 0) << FormatSummary(s, /*verbose=*/true);
+}
+
+#endif  // NT_SOURCE_DIR
+
+}  // namespace
+}  // namespace lint
+}  // namespace nt

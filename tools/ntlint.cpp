@@ -1,0 +1,65 @@
+// ntlint CLI — determinism & protocol-safety lint for this repo.
+//
+//   ntlint [options] <path>...      paths are files or directories
+//
+// Options:
+//   --verbose   also print suppressed findings inline
+//   --rules     list the rule set and exit
+//
+// Exit status: 0 when every finding is suppressed by an explicit
+// `// ntlint:allow(<rule>): <reason>` annotation, 1 otherwise. CI treats a
+// nonzero exit as a red build.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/lint/lint.h"
+
+namespace {
+
+void PrintRules() {
+  std::printf(
+      "ntlint rules:\n"
+      "  nondet          R1: wall-clock/entropy/thread identifiers (std::chrono, rand,\n"
+      "                  random_device, getenv, std::thread, mutex declarations, ...)\n"
+      "                  outside src/sim/ and bench/\n"
+      "  unordered-iter  R2: iteration over std::unordered_{map,set} whose body sends,\n"
+      "                  hashes, serializes, streams, or appends (order escapes)\n"
+      "  quorum-arith    R3: literal threshold arithmetic (2*f, f+1, n/3) outside the\n"
+      "                  Committee helpers in src/types/committee.h\n"
+      "  codec-mismatch  R4: Encode/Decode pair whose codec op sequences drift\n"
+      "  pointer-key     R5: std::map/set (or unordered) keyed by raw pointer value\n"
+      "\n"
+      "suppress with:  // ntlint:allow(<rule>[,<rule>]): <reason>\n"
+      "(same line as the finding, or the line directly above)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verbose = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (std::strcmp(argv[i], "--rules") == 0) {
+      PrintRules();
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: ntlint [--verbose] [--rules] <path>...\n");
+      return 0;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: ntlint [--verbose] [--rules] <path>...\n");
+    return 2;
+  }
+
+  nt::lint::Summary summary = nt::lint::LintPaths(paths);
+  std::string report = nt::lint::FormatSummary(summary, verbose);
+  std::fputs(report.c_str(), stdout);
+  return summary.unsuppressed() == 0 ? 0 : 1;
+}
