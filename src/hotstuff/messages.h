@@ -18,7 +18,7 @@ struct MsgHsProposal : Message {
   MsgHsProposal(std::shared_ptr<const HsBlock> b, const Digest& d)
       : block(std::move(b)), digest(d) {}
   size_t WireSize() const override { return block->WireSize(); }
-  const char* TypeName() const override { return "HsProposal"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kHsProposal; }
 };
 
 struct MsgHsVote : Message {
@@ -30,7 +30,7 @@ struct MsgHsVote : Message {
   MsgHsVote(const Digest& d, View v, ValidatorId voter_id, const Signature& s)
       : block_digest(d), view(v), voter(voter_id), sig(s) {}
   size_t WireSize() const override { return 32 + 8 + 4 + 64; }
-  const char* TypeName() const override { return "HsVote"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kHsVote; }
 };
 
 struct MsgHsTimeout : Message {
@@ -42,7 +42,7 @@ struct MsgHsTimeout : Message {
   MsgHsTimeout(View v, ValidatorId voter_id, const Signature& s, QuorumCert qc)
       : view(v), voter(voter_id), sig(s), high_qc(std::move(qc)) {}
   size_t WireSize() const override { return 8 + 4 + 64 + high_qc.WireSize(); }
-  const char* TypeName() const override { return "HsTimeout"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kHsTimeout; }
 };
 
 // Catch-up: fetch a missing ancestor block by digest.
@@ -51,7 +51,7 @@ struct MsgHsBlockRequest : Message {
 
   explicit MsgHsBlockRequest(const Digest& d) : digest(d) {}
   size_t WireSize() const override { return 32; }
-  const char* TypeName() const override { return "HsBlockRequest"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kHsBlockRequest; }
 };
 
 struct MsgHsBlockResponse : Message {
@@ -61,7 +61,7 @@ struct MsgHsBlockResponse : Message {
   MsgHsBlockResponse(std::shared_ptr<const HsBlock> b, const Digest& d)
       : block(std::move(b)), digest(d) {}
   size_t WireSize() const override { return block->WireSize(); }
-  const char* TypeName() const override { return "HsBlockResponse"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kHsBlockResponse; }
 };
 
 // Baseline-HS gossip mempool: periodic aggregate of freshly received
@@ -73,7 +73,7 @@ struct MsgGossipTxs : Message {
 
   MsgGossipTxs(uint64_t n, uint64_t bytes) : num_txs(n), payload_bytes(bytes) {}
   size_t WireSize() const override { return 16 + payload_bytes; }
-  const char* TypeName() const override { return "GossipTxs"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kGossipTxs; }
 };
 
 }  // namespace nt

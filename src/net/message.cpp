@@ -1,0 +1,51 @@
+#include "src/net/message.h"
+
+namespace nt {
+
+const char* MessageTypeName(MessageTypeId id) {
+  switch (id) {
+    case MessageTypeId::kBatch:
+      return "Batch";
+    case MessageTypeId::kBatchAck:
+      return "BatchAck";
+    case MessageTypeId::kBatchReady:
+      return "BatchReady";
+    case MessageTypeId::kFetchBatch:
+      return "FetchBatch";
+    case MessageTypeId::kBatchStored:
+      return "BatchStored";
+    case MessageTypeId::kHeader:
+      return "Header";
+    case MessageTypeId::kVote:
+      return "Vote";
+    case MessageTypeId::kCertificate:
+      return "Certificate";
+    case MessageTypeId::kCertRequest:
+      return "CertRequest";
+    case MessageTypeId::kCertResponse:
+      return "CertResponse";
+    case MessageTypeId::kBatchRequest:
+      return "BatchRequest";
+    case MessageTypeId::kBatchResponse:
+      return "BatchResponse";
+    case MessageTypeId::kHsProposal:
+      return "HsProposal";
+    case MessageTypeId::kHsVote:
+      return "HsVote";
+    case MessageTypeId::kHsTimeout:
+      return "HsTimeout";
+    case MessageTypeId::kHsBlockRequest:
+      return "HsBlockRequest";
+    case MessageTypeId::kHsBlockResponse:
+      return "HsBlockResponse";
+    case MessageTypeId::kGossipTxs:
+      return "GossipTxs";
+    case MessageTypeId::kTest:
+      return "Test";
+    case MessageTypeId::kCount:
+      break;
+  }
+  return "Unknown";
+}
+
+}  // namespace nt

@@ -9,6 +9,39 @@
 
 namespace nt {
 
+// Stable identity for every concrete message type in the tree. Per-type
+// traffic accounting indexes a flat array by this id on the send hot path;
+// human-readable names are resolved only at report time (MessageTypeName).
+// Order is append-only: ids are part of the benchmark/trace surface.
+enum class MessageTypeId : uint8_t {
+  kBatch = 0,
+  kBatchAck,
+  kBatchReady,
+  kFetchBatch,
+  kBatchStored,
+  kHeader,
+  kVote,
+  kCertificate,
+  kCertRequest,
+  kCertResponse,
+  kBatchRequest,
+  kBatchResponse,
+  kHsProposal,
+  kHsVote,
+  kHsTimeout,
+  kHsBlockRequest,
+  kHsBlockResponse,
+  kGossipTxs,
+  // Ad-hoc traffic from tests and benchmarks.
+  kTest,
+  kCount,
+};
+
+inline constexpr size_t kMessageTypeCount = static_cast<size_t>(MessageTypeId::kCount);
+
+// Short stable display name for a type id ("Batch", "Vote", ...).
+const char* MessageTypeName(MessageTypeId id);
+
 class Message {
  public:
   virtual ~Message() = default;
@@ -18,8 +51,12 @@ class Message {
   // protocol types).
   virtual size_t WireSize() const = 0;
 
-  // Short stable name for logs and per-type statistics.
-  virtual const char* TypeName() const = 0;
+  // Stable type id for per-type statistics; cheaper than a name on the send
+  // hot path.
+  virtual MessageTypeId TypeId() const = 0;
+
+  // Short stable name for logs, resolved from the id registry.
+  const char* TypeName() const { return MessageTypeName(TypeId()); }
 };
 
 // Messages are immutable once sent; a broadcast shares one allocation.

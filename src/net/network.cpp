@@ -15,9 +15,23 @@ Network::Network(Scheduler* scheduler, const LatencyModel* latency, FaultControl
       rng_(Rng::Derive(seed, "network")) {}
 
 uint32_t Network::AddNode(NetNode* node, uint32_t region, uint32_t machine) {
+  const uint32_t id = static_cast<uint32_t>(nodes_.size());
   nodes_.push_back(NodeSlot{node, region, machine});
   next_machine_ = std::max(next_machine_, machine + 1);
-  return static_cast<uint32_t>(nodes_.size() - 1);
+  machines_.resize(next_machine_);
+  // Re-lay-out the FIFO matrix for the new dimension, preserving the clamp
+  // already accumulated for existing pairs (nodes are normally all added
+  // before traffic starts, so this is setup-time work).
+  const size_t old_n = id;
+  const size_t new_n = old_n + 1;
+  std::vector<TimePoint> grown(new_n * new_n, 0);
+  for (size_t s = 0; s < old_n; ++s) {
+    for (size_t d = 0; d < old_n; ++d) {
+      grown[s * new_n + d] = last_delivery_[s * old_n + d];
+    }
+  }
+  last_delivery_ = std::move(grown);
+  return id;
 }
 
 void Network::Start() {
@@ -26,6 +40,17 @@ void Network::Start() {
       nodes_[i].node->OnStart();
     }
   }
+}
+
+std::map<std::string, Network::TypeStats> Network::type_stats() const {
+  std::map<std::string, TypeStats> named;
+  for (size_t i = 0; i < kMessageTypeCount; ++i) {
+    const TypeStats& s = type_stats_[i];
+    if (s.messages != 0) {
+      named[MessageTypeName(static_cast<MessageTypeId>(i))] = s;
+    }
+  }
+  return named;
 }
 
 void Network::Send(uint32_t src, uint32_t dst, MessagePtr msg) {
@@ -44,7 +69,7 @@ void Network::Send(uint32_t src, uint32_t dst, MessagePtr msg) {
   const size_t wire = msg->WireSize() + config_.per_message_overhead;
   ++messages_sent_;
   bytes_sent_ += wire;
-  TypeStats& per_type = type_stats_[msg->TypeName()];
+  TypeStats& per_type = type_stats_[static_cast<size_t>(msg->TypeId())];
   ++per_type.messages;
   per_type.bytes += wire;
 
@@ -94,8 +119,7 @@ void Network::Send(uint32_t src, uint32_t dst, MessagePtr msg) {
   // Each node pair is its own TCP stream: in-order delivery per pair, but no
   // head-of-line blocking between, say, a worker's batch stream and its
   // collocated primary's header stream.
-  uint64_t pair = (static_cast<uint64_t>(src) << 32) | dst;
-  TimePoint& last = last_delivery_[pair];
+  TimePoint& last = last_delivery_[static_cast<size_t>(src) * nodes_.size() + dst];
   deliver_at = std::max(deliver_at, last + 1);
   last = deliver_at;
 

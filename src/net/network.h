@@ -12,9 +12,17 @@
 // streams. The FaultController injects crashes, partitions (in-flight
 // messages are deferred to the heal time, modeling TCP retransmission),
 // asynchrony windows, and random loss.
+//
+// Hot-path state is flat and index-addressed: machine queues live in a
+// dense vector by machine id, the per-(src,dst) FIFO clamp is a dense
+// node×node matrix, and per-type accounting indexes a fixed array by
+// MessageTypeId — no hashing, no tree walks, no string construction per
+// send. All of it is deterministic by construction: iteration surfaces are
+// plain arrays in index order.
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -57,7 +65,10 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   // Allocates a fresh machine id (its own NIC).
-  uint32_t NewMachine() { return next_machine_++; }
+  uint32_t NewMachine() {
+    machines_.resize(next_machine_ + 1);
+    return next_machine_++;
+  }
 
   // Registers a node. Returns its global node id.
   uint32_t AddNode(NetNode* node, uint32_t region, uint32_t machine);
@@ -85,28 +96,28 @@ class Network {
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
 
-  // Per-message-type traffic (by Message::TypeName): quantifies the paper's
-  // §1 observation that bulk transaction data dwarfs consensus metadata.
+  // Per-message-type traffic: quantifies the paper's §1 observation that
+  // bulk transaction data dwarfs consensus metadata. Accounted by
+  // MessageTypeId on the send path; names are resolved here, at report
+  // time, and the result is name-ordered (deterministic iteration).
   struct TypeStats {
     uint64_t messages = 0;
     uint64_t bytes = 0;
   };
-  const std::map<std::string, TypeStats>& type_stats() const { return type_stats_; }
+  std::map<std::string, TypeStats> type_stats() const;
 
   // --- tracing gauges -------------------------------------------------------
   // Outstanding egress-queue backlog of `machine` in microseconds of NIC time
   // (0 when the NIC is idle at `now`).
   TimeDelta EgressBacklog(uint32_t machine, TimePoint now) const {
-    auto it = machines_.find(machine);
-    if (it == machines_.end() || it->second.egress_free_at <= now) {
+    if (machine >= machines_.size() || machines_[machine].egress_free_at <= now) {
       return 0;
     }
-    return it->second.egress_free_at - now;
+    return machines_[machine].egress_free_at - now;
   }
   // Cumulative microseconds machine's NIC egress has spent transmitting.
   TimeDelta EgressBusyUs(uint32_t machine) const {
-    auto it = machines_.find(machine);
-    return it == machines_.end() ? 0 : it->second.egress_busy_us;
+    return machine < machines_.size() ? machines_[machine].egress_busy_us : 0;
   }
   uint32_t machine_count() const { return next_machine_; }
 
@@ -124,7 +135,15 @@ class Network {
   };
 
   TimeDelta TransmitTime(size_t bytes) const {
-    return static_cast<TimeDelta>(static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps * 1e6);
+    // Memoized on the last wire size: traffic is dominated by a handful of
+    // fixed message sizes, so this skips the FP division on nearly every
+    // send while producing bit-identical values.
+    if (bytes != tx_memo_bytes_) {
+      tx_memo_bytes_ = bytes;
+      tx_memo_time_ =
+          static_cast<TimeDelta>(static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps * 1e6);
+    }
+    return tx_memo_time_;
   }
 
   Scheduler* scheduler_;
@@ -132,21 +151,24 @@ class Network {
   FaultController* faults_;  // May be null (fault-free run).
   NetworkConfig config_;
   mutable Rng rng_;
+  mutable size_t tx_memo_bytes_ = ~size_t{0};
+  mutable TimeDelta tx_memo_time_ = 0;
 
   std::vector<NodeSlot> nodes_;
-  // Ordered: the fabric sits on the deterministic-replay critical path, so
-  // even incidental iteration (stats, debugging dumps) must not depend on
-  // hash seeding.
-  std::map<uint32_t, MachineState> machines_;
-  // FIFO clamp per (src node << 32 | dst node) — one TCP stream per pair.
-  std::map<uint64_t, TimePoint> last_delivery_;
+  // Dense by machine id; NewMachine/AddNode keep it sized to next_machine_.
+  std::vector<MachineState> machines_;
+  // FIFO clamp per (src node, dst node) — one TCP stream per pair — as a
+  // dense row-major matrix indexed src * node_count + dst. Grown (and
+  // re-laid-out) by AddNode; topologies are a few hundred nodes, so the
+  // matrix is a couple of MB at paper scale (n=50 × 11 machines).
+  std::vector<TimePoint> last_delivery_;
   uint32_t next_machine_ = 0;
 
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t messages_dropped_ = 0;
-  std::map<std::string, TypeStats> type_stats_;
+  std::array<TypeStats, kMessageTypeCount> type_stats_{};
 };
 
 }  // namespace nt

@@ -4,12 +4,26 @@
 // in (time, insertion-order) order, so runs are fully deterministic for a
 // given seed — the property that lets every benchmark scenario and failure
 // schedule replay exactly.
+//
+// The hot path is allocation-free: callbacks are stored in a small-buffer-
+// optimized slot (64 inline bytes cover every capture in the tree; larger
+// captures spill to a pooled slab, and only pathological ones touch the
+// heap). Slots are recycled through a key-tagged pool, so Cancel() and
+// liveness checks are O(1) array lookups with no hashing, and the 4-ary
+// heap itself holds only 16-byte POD entries — sift operations move plain
+// integers, never callbacks.
 #ifndef SRC_SIM_SCHEDULER_H_
 #define SRC_SIM_SCHEDULER_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
-#include <unordered_set>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/time.h"
@@ -18,7 +32,6 @@ namespace nt {
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
   using TimerId = uint64_t;
 
   static constexpr TimerId kInvalidTimer = 0;
@@ -26,18 +39,23 @@ class Scheduler {
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
 
   TimePoint now() const { return now_; }
 
   // Schedules `cb` at absolute time `t` (clamped to now). Returns an id
   // usable with Cancel().
-  TimerId ScheduleAt(TimePoint t, Callback cb);
+  template <typename F>
+  TimerId ScheduleAt(TimePoint t, F&& cb);
 
   // Schedules `cb` after `delay` from now.
-  TimerId ScheduleAfter(TimeDelta delay, Callback cb) { return ScheduleAt(now_ + delay, std::move(cb)); }
+  template <typename F>
+  TimerId ScheduleAfter(TimeDelta delay, F&& cb) {
+    return ScheduleAt(now_ + delay, std::forward<F>(cb));
+  }
 
   // Cancels a pending event. A no-op for already-fired, already-cancelled,
-  // or invalid ids — no bookkeeping is retained for them.
+  // or invalid ids — the generation tag makes stale handles harmless.
   void Cancel(TimerId id);
 
   // Pops and runs the next event, advancing the clock to it. Returns false if
@@ -51,7 +69,7 @@ class Scheduler {
   void RunUntilIdle();
 
   // Exact number of live (scheduled, not yet fired, not cancelled) events.
-  size_t pending_events() const { return live_.size(); }
+  size_t pending_events() const { return live_count_; }
 
   // --- determinism self-check ------------------------------------------------
   // Running hash over every fired event's (time, sequence) pair, folded in
@@ -64,38 +82,264 @@ class Scheduler {
   uint64_t events_fired() const { return events_fired_; }
 
  private:
-  struct Event {
-    TimePoint time;
-    uint64_t seq;
-    TimerId id;
-    // Ordered as a min-heap: earliest time first, ties broken by insertion
-    // order so causally-enqueued work runs in FIFO order.
-    bool operator>(const Event& other) const {
-      if (time != other.time) {
-        return time > other.time;
-      }
-      return seq > other.seq;
-    }
-    Callback cb;
+  // Where a slot's callback body lives.
+  enum : uint8_t { kStoredInline = 0, kStoredPooled = 1, kStoredHeap = 2 };
+
+  // Events are keyed by a single 64-bit word: (seq << 24) | slot index. The
+  // sequence number is unique per scheduled event, so the key doubles as the
+  // public TimerId, as the heap tie-breaker (higher bits dominate, so key
+  // order on equal times IS seq order), and as the liveness token — a slot
+  // remembers the key of its current occupant, so "is this heap entry / this
+  // TimerId still live?" is one 64-bit compare. 24 index bits cap concurrent
+  // pending events at ~16.7M; 40 seq bits cap a scheduler's lifetime at
+  // ~1.1e12 events — both orders of magnitude past the largest experiment.
+  static constexpr uint32_t kSlotIndexBits = 24;
+  static constexpr uint64_t kSlotIndexMask = (uint64_t{1} << kSlotIndexBits) - 1;
+
+  // Type-erased operations for one callback type. One static instance per
+  // instantiation lives in .rodata and is shared by every slot holding that
+  // type — slots carry a single pointer to it, keeping slot metadata plus
+  // the first 32 callback bytes on one cache line.
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs the callback into dst and destroys the src copy; only
+    // needed for inline storage (spilled bodies move by pointer). Null for
+    // trivially-copyable inline bodies (plain memcpy relocation).
+    void (*relocate)(void*, void*);
+    void (*destroy)(void*);  // Null for trivially-destructible bodies.
+    // Releases a kStoredHeap body's memory (nullptr otherwise).
+    void (*dealloc)(void*);
   };
 
-  // Drops cancelled events sitting at the top of the heap so heap_.front()
+  // One pooled callback slot. Slots live in chunked arrays with stable
+  // addresses (never relocated while a callback is stored), and are recycled
+  // through a free list. `cur_key` is 0 while the slot is free — live keys
+  // always carry seq >= 1, so a stale TimerId (fired or cancelled event) can
+  // never alias a later occupant of the same slot.
+  struct Slot {
+    static constexpr size_t kInlineBytes = 64;
+
+    uint64_t cur_key = 0;
+    const Ops* ops = nullptr;
+    uint8_t storage = kStoredInline;
+    alignas(std::max_align_t) unsigned char buf[kInlineBytes];
+  };
+
+  // Fixed-size slab allocator for callbacks too big for the inline buffer.
+  // Blocks are never returned to the OS mid-run; the free list keeps reuse
+  // O(1) and allocation-free at steady state.
+  class SpillPool {
+   public:
+    static constexpr size_t kBlockBytes = 256;
+
+    void* Alloc() {
+      if (free_.empty()) {
+        Grow();
+      }
+      void* p = free_.back();
+      free_.pop_back();
+      return p;
+    }
+    void Free(void* p) { free_.push_back(p); }
+
+   private:
+    void Grow();
+
+    std::vector<std::unique_ptr<std::max_align_t[]>> slabs_;
+    std::vector<void*> free_;
+  };
+
+  // Min-heap entry: 16 bytes of POD (four children share one cache line),
+  // ordered earliest time first with ties broken by insertion order so
+  // causally-enqueued work runs in FIFO order.
+  struct HeapEntry {
+    TimePoint time;
+    uint64_t key;  // (seq << kSlotIndexBits) | slot index.
+
+    uint64_t seq() const { return key >> kSlotIndexBits; }
+    uint32_t slot() const { return static_cast<uint32_t>(key & kSlotIndexMask); }
+  };
+
+  // Strict total order on events: (time, seq), and seq is unique, so the
+  // minimum is unique — the internal heap arity/layout can never change
+  // which event pops next. Comparing keys compares seqs: seq occupies the
+  // high bits and no two live keys share one.
+  //
+  // The lexicographic (time, key) compare is expressed as one 128-bit
+  // unsigned less-than (time is never negative): cmp/sbb with no branches,
+  // which matters in the min-of-4 sift tournament where short-circuit
+  // branches on near-random data would mispredict every level.
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    using U128 = unsigned __int128;
+    const U128 ka = (U128{static_cast<uint64_t>(a.time)} << 64) | a.key;
+    const U128 kb = (U128{static_cast<uint64_t>(b.time)} << 64) | b.key;
+    return ka < kb;
+  }
+
+  // 64-byte-aligned storage for the heap vector. Combined with the 3-entry
+  // front pad (kHeapPad), every 4-child group of the 4-ary heap — 4 x 16
+  // bytes — occupies exactly one cache line, halving the lines touched per
+  // sift when the heap has been evicted to L2 by the rest of the hot state.
+  template <typename T>
+  struct CacheAlignedAlloc {
+    using value_type = T;
+    CacheAlignedAlloc() = default;
+    template <typename U>
+    CacheAlignedAlloc(const CacheAlignedAlloc<U>&) {}  // NOLINT(runtime/explicit)
+    T* allocate(size_t n) {
+      return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{64}));
+    }
+    void deallocate(T* p, size_t) { ::operator delete(p, std::align_val_t{64}); }
+    bool operator==(const CacheAlignedAlloc&) const { return true; }
+    bool operator!=(const CacheAlignedAlloc&) const { return false; }
+  };
+
+  // A callback extracted from its slot, ready to run/destroy after the slot
+  // has been recycled (the callback may reenter ScheduleAt/Cancel).
+  struct Detached {
+    void* body;
+    const Ops* ops;
+    uint8_t storage;
+  };
+
+  template <typename Fn>
+  struct FnOps {
+    static void Invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void Destroy(void* p) { static_cast<Fn*>(p)->~Fn(); }
+    static void Relocate(void* dst, void* src) {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static void HeapDealloc(void* p) {
+      if constexpr (alignof(Fn) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+        ::operator delete(p, std::align_val_t(alignof(Fn)));
+      } else {
+        ::operator delete(p);
+      }
+    }
+
+    // `dealloc` is only ever called for kStoredHeap bodies, so kFull can
+    // carry it unconditionally.
+    static constexpr Ops kFull = {&Invoke, &Relocate, &Destroy, &HeapDealloc};
+    // Trivially-copyable, trivially-destructible inline bodies (pointers,
+    // ids, digests): relocation is a fixed-size memcpy, destruction a no-op.
+    static constexpr Ops kTrivial = {&Invoke, nullptr, nullptr, nullptr};
+  };
+
+  static constexpr uint32_t kSlotChunkShift = 8;  // 256 slots per chunk.
+  static constexpr uint32_t kSlotChunkSize = 1u << kSlotChunkShift;
+
+  Slot& SlotAt(uint32_t index) {
+    return slot_chunks_[index >> kSlotChunkShift][index & (kSlotChunkSize - 1)];
+  }
+  const Slot* SlotIfValid(uint32_t index) const {
+    if (index >= num_slots_) {
+      return nullptr;
+    }
+    return &slot_chunks_[index >> kSlotChunkShift][index & (kSlotChunkSize - 1)];
+  }
+
+  uint32_t AllocSlot();
+  // Clears the occupancy key and returns the slot to the free list.
+  void ReleaseSlot(uint32_t index);
+  // Extracts the callback from a live slot (relocating inline bodies into
+  // `tmp`) and releases the slot. The caller runs/destroys the result.
+  Detached Detach(uint32_t index, void* tmp);
+  void Dispose(const Detached& d);
+
+  // True iff the heap entry still refers to a live event (not cancelled or
+  // fired): its key matches the slot's current occupancy key.
+  bool IsLive(const HeapEntry& e) const {
+    const Slot* s = SlotIfValid(e.slot());
+    return s != nullptr && s->cur_key == e.key;
+  }
+
+  // --- 4-ary min-heap over Earlier() ---------------------------------------
+  // Hand-rolled with hole-sifting: half the depth of a binary heap, each
+  // 4-child group on exactly one cache line (64-byte-aligned storage plus
+  // the 3-entry front pad), and entries are moved (not swapped) exactly once
+  // per level. Layout is an implementation detail — pop order is fixed by
+  // the total order above.
+  //
+  // The heap occupies heap_[kHeapPad..): the root is heap_[3], the children
+  // of array index i are array indices 4i-8 .. 4i-5 (a multiple-of-4 start,
+  // hence cache-aligned), and the parent of j is ((j - 4) >> 2) + 3.
+  static constexpr size_t kHeapPad = 3;
+
+  bool HeapEmpty() const { return heap_.size() == kHeapPad; }
+  const HeapEntry& HeapTop() const { return heap_[kHeapPad]; }
+  void HeapPush(const HeapEntry& e);
+  // Removes the minimum, restoring the heap property.
+  void HeapPopTop();
+  void HeapSiftDown(size_t i);
+  // Restores the heap property over an arbitrarily-ordered heap_.
+  void Heapify();
+
+  // Drops cancelled events sitting at the top of the heap so heap_[0]
   // (when non-empty) is always the next live event.
   void PruneCancelledTop();
+  // Compacts tombstones out of the heap when they dominate it.
+  void MaybeCompact();
 
   TimePoint now_ = 0;
   uint64_t next_seq_ = 1;
   uint64_t event_hash_ = 0;
   uint64_t events_fired_ = 0;
-  // Min-heap over Event::operator> (std::push_heap/std::pop_heap with
-  // std::greater), kept as an explicit vector so cancellation can compact it
-  // in place when tombstones pile up.
-  std::vector<Event> heap_;
-  // Ids of queued, not-yet-fired, not-cancelled events. Cancel() erases from
-  // here (heap entries whose id is absent are tombstones, skipped on pop), so
-  // cancelling never accumulates state for ids that already fired.
-  std::unordered_set<TimerId> live_;
+  size_t live_count_ = 0;
+  // 4-ary min-heap over Earlier(), kept as an explicit vector so
+  // cancellation can compact it in place when tombstones pile up. The first
+  // kHeapPad entries are alignment padding, never read.
+  using HeapVec = std::vector<HeapEntry, CacheAlignedAlloc<HeapEntry>>;
+  HeapVec heap_ = HeapVec(kHeapPad);
+  // Chunked slot arena: stable addresses (a chunk is never moved once
+  // allocated), indexed as chunk[i >> 8][i & 255].
+  std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
+  uint32_t num_slots_ = 0;
+  std::vector<uint32_t> free_slots_;
+  SpillPool pool_;
 };
+
+template <typename F>
+Scheduler::TimerId Scheduler::ScheduleAt(TimePoint t, F&& cb) {
+  using Fn = std::decay_t<F>;
+  static_assert(std::is_invocable_v<Fn&>, "callback must be invocable with no arguments");
+
+  const uint32_t index = AllocSlot();
+  Slot& slot = SlotAt(index);
+  void* where;
+  if constexpr (sizeof(Fn) <= Slot::kInlineBytes && alignof(Fn) <= alignof(std::max_align_t)) {
+    slot.storage = kStoredInline;
+    where = slot.buf;
+  } else if constexpr (sizeof(Fn) <= SpillPool::kBlockBytes &&
+                       alignof(Fn) <= alignof(std::max_align_t)) {
+    slot.storage = kStoredPooled;
+    where = pool_.Alloc();
+    std::memcpy(slot.buf, &where, sizeof(void*));
+  } else {
+    slot.storage = kStoredHeap;
+    if constexpr (alignof(Fn) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      where = ::operator new(sizeof(Fn), std::align_val_t(alignof(Fn)));
+    } else {
+      where = ::operator new(sizeof(Fn));
+    }
+    std::memcpy(slot.buf, &where, sizeof(void*));
+  }
+  ::new (where) Fn(std::forward<F>(cb));
+  if constexpr (std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn> &&
+                sizeof(Fn) <= Slot::kInlineBytes && alignof(Fn) <= alignof(std::max_align_t)) {
+    slot.ops = &FnOps<Fn>::kTrivial;
+  } else {
+    slot.ops = &FnOps<Fn>::kFull;
+  }
+
+  HeapEntry entry;
+  entry.time = t > now_ ? t : now_;
+  entry.key = (next_seq_++ << kSlotIndexBits) | index;
+  slot.cur_key = entry.key;
+  HeapPush(entry);
+  ++live_count_;
+  return entry.key;
+}
 
 }  // namespace nt
 

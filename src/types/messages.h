@@ -19,7 +19,7 @@ struct MsgBatch : Message {
 
   MsgBatch(std::shared_ptr<const Batch> b, const Digest& d) : batch(std::move(b)), digest(d) {}
   size_t WireSize() const override { return batch->WireSize(); }
-  const char* TypeName() const override { return "Batch"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kBatch; }
 };
 
 // Worker -> worker: storage acknowledgment for a batch.
@@ -29,7 +29,7 @@ struct MsgBatchAck : Message {
 
   MsgBatchAck(const Digest& d, WorkerId w) : digest(d), worker(w) {}
   size_t WireSize() const override { return 32 + 4; }
-  const char* TypeName() const override { return "BatchAck"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kBatchAck; }
 };
 
 // Worker -> its own primary: a batch reached a quorum of workers and may be
@@ -39,7 +39,7 @@ struct MsgBatchReady : Message {
 
   explicit MsgBatchReady(const BatchRef& r) : ref(r) {}
   size_t WireSize() const override { return 32 + 4 + 8 + 8; }
-  const char* TypeName() const override { return "BatchReady"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kBatchReady; }
 };
 
 // Primary -> its own worker: another validator's header references a batch
@@ -52,7 +52,7 @@ struct MsgFetchBatch : Message {
   MsgFetchBatch(const Digest& d, ValidatorId a, WorkerId w)
       : digest(d), batch_author(a), worker(w) {}
   size_t WireSize() const override { return 32 + 4 + 4; }
-  const char* TypeName() const override { return "FetchBatch"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kFetchBatch; }
 };
 
 // Worker -> its own primary: confirmation that a batch is stored locally.
@@ -61,7 +61,7 @@ struct MsgBatchStored : Message {
 
   explicit MsgBatchStored(const Digest& d) : digest(d) {}
   size_t WireSize() const override { return 32; }
-  const char* TypeName() const override { return "BatchStored"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kBatchStored; }
 };
 
 // Primary -> primary: a proposed header (reliable-broadcast "send" phase).
@@ -72,7 +72,7 @@ struct MsgHeader : Message {
   MsgHeader(std::shared_ptr<const BlockHeader> h, const Digest& d)
       : header(std::move(h)), digest(d) {}
   size_t WireSize() const override { return header->WireSize(); }
-  const char* TypeName() const override { return "Header"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kHeader; }
 };
 
 // Primary -> primary: a vote (signed acknowledgment) on a header.
@@ -81,7 +81,7 @@ struct MsgVote : Message {
 
   explicit MsgVote(const Vote& v) : vote(v) {}
   size_t WireSize() const override { return vote.WireSize(); }
-  const char* TypeName() const override { return "Vote"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kVote; }
 };
 
 // Primary -> primary: a freshly assembled certificate of availability.
@@ -90,7 +90,7 @@ struct MsgCertificate : Message {
 
   explicit MsgCertificate(Certificate c) : cert(std::move(c)) {}
   size_t WireSize() const override { return cert.WireSize(); }
-  const char* TypeName() const override { return "Certificate"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kCertificate; }
 };
 
 // Primary -> primary: pull request for a missing certified block (the DoS-
@@ -101,7 +101,7 @@ struct MsgCertRequest : Message {
 
   explicit MsgCertRequest(const Digest& d) : digest(d) {}
   size_t WireSize() const override { return 32; }
-  const char* TypeName() const override { return "CertRequest"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kCertRequest; }
 };
 
 struct MsgCertResponse : Message {
@@ -111,7 +111,7 @@ struct MsgCertResponse : Message {
   MsgCertResponse(Certificate c, std::shared_ptr<const BlockHeader> h)
       : cert(std::move(c)), header(std::move(h)) {}
   size_t WireSize() const override { return cert.WireSize() + header->WireSize(); }
-  const char* TypeName() const override { return "CertResponse"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kCertResponse; }
 };
 
 // Worker -> worker: pull request for a missing batch.
@@ -120,7 +120,7 @@ struct MsgBatchRequest : Message {
 
   explicit MsgBatchRequest(const Digest& d) : digest(d) {}
   size_t WireSize() const override { return 32; }
-  const char* TypeName() const override { return "BatchRequest"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kBatchRequest; }
 };
 
 struct MsgBatchResponse : Message {
@@ -130,7 +130,7 @@ struct MsgBatchResponse : Message {
   MsgBatchResponse(std::shared_ptr<const Batch> b, const Digest& d)
       : batch(std::move(b)), digest(d) {}
   size_t WireSize() const override { return batch->WireSize(); }
-  const char* TypeName() const override { return "BatchResponse"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kBatchResponse; }
 };
 
 }  // namespace nt

@@ -278,6 +278,62 @@ std::unordered_map<Digest, const Block*, DigestHash> blocks_;
   EXPECT_EQ(CountRule(r, kRulePointerKey), 0);
 }
 
+// ------------------------------------------------- engine fast-path patterns
+// The scheduler/network fast path replaced hashed containers with flat slot
+// pools and dense vectors. These shapes must stay silent — the rules target
+// unordered iteration and pointer keys, not pooling — while the shape the
+// pool replaced (liveness keyed on an object address) must keep firing.
+
+TEST(EngineFastPath, FlatSlotPoolIterationThatSerializesIsSilent) {
+  // A vector has deterministic iteration order, so a serializing loop over a
+  // slot pool (or the network's dense machine table) is fine where the same
+  // loop over an unordered_map would fire R2.
+  FileReport r = LintSource("src/net/network.cpp", R"(
+std::vector<MachineState> machines_;
+std::vector<uint32_t> free_slots_;
+void Network::DumpStats(Writer& w) {
+  for (const MachineState& m : machines_) {
+    w.PutU64(m.bytes_sent);
+  }
+}
+)");
+  EXPECT_EQ(Unsuppressed(r), 0);
+}
+
+TEST(EngineFastPath, InlineCallbackSlotWithOpsTableIsSilent) {
+  // The scheduler's zero-alloc callback slot: placement new into an inline
+  // buffer, type-erased through a static ops table. `const Ops*` is a
+  // pointer member (not a pointer key) and must not trip R5.
+  FileReport r = LintSource("src/net/timer_queue.h", R"(
+struct Ops {
+  void (*invoke)(void* body);
+  void (*destroy)(void* body);
+};
+struct Slot {
+  uint64_t cur_key = 0;
+  const Ops* ops = nullptr;
+  alignas(std::max_align_t) unsigned char buf[64];
+};
+template <typename F>
+uint64_t Arm(F&& fn) {
+  Slot& slot = SlotAt(AllocSlot());
+  ::new (static_cast<void*>(slot.buf)) F(std::forward<F>(fn));
+  slot.ops = &FnOps<F>::kFull;
+  return slot.cur_key;
+}
+)");
+  EXPECT_EQ(Unsuppressed(r), 0);
+}
+
+TEST(EngineFastPath, PointerKeyedLivenessSetStillFires) {
+  // Keying timer liveness on the callback's address is exactly what the
+  // generation-tagged slot pool replaced; R5 keeps it from sneaking back.
+  FileReport r = LintSource("src/net/timer_queue.h", R"(
+std::unordered_set<Callback*> live_;
+)");
+  EXPECT_EQ(CountRule(r, kRulePointerKey), 1);
+}
+
 // --------------------------------------------------------- allow annotations
 
 TEST(AllowAnnotation, SuppressesOnLineAboveAndCapturesReason) {

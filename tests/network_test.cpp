@@ -14,7 +14,7 @@ struct TestMsg : Message {
   int tag;
   explicit TestMsg(size_t s, int t = 0) : size(s), tag(t) {}
   size_t WireSize() const override { return size; }
-  const char* TypeName() const override { return "Test"; }
+  MessageTypeId TypeId() const override { return MessageTypeId::kTest; }
 };
 
 struct Recorder : NetNode {

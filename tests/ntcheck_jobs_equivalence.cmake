@@ -1,0 +1,15 @@
+# Asserts that `ntcheck --jobs N` is observably identical to a sequential
+# sweep: same stdout byte-for-byte (per-seed verdicts in seed order, same
+# summary line) and same exit code. Run via ctest as a script test with
+# -DNTCHECK=<path to the ntcheck binary>.
+execute_process(COMMAND ${NTCHECK} --seeds 10 --start 300
+                OUTPUT_VARIABLE seq_out RESULT_VARIABLE seq_rc)
+execute_process(COMMAND ${NTCHECK} --seeds 10 --start 300 --jobs 4
+                OUTPUT_VARIABLE par_out RESULT_VARIABLE par_rc)
+if(NOT seq_rc EQUAL par_rc)
+  message(FATAL_ERROR "exit codes differ: sequential=${seq_rc} parallel=${par_rc}")
+endif()
+if(NOT seq_out STREQUAL par_out)
+  message(FATAL_ERROR "parallel output differs from sequential:\n"
+                      "--- sequential ---\n${seq_out}\n--- parallel ---\n${par_out}")
+endif()

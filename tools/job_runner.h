@@ -1,0 +1,124 @@
+// Fork-based parallel job map for the CLI tools (ntcheck --jobs, ntbench
+// --jobs).
+//
+// Each job runs in its own forked process with stdout redirected to a pipe;
+// the parent streams the output back and re-emits it in job order, so the
+// merged stream is byte-identical to a sequential run regardless of
+// completion order. No simulator state ever crosses a process boundary —
+// every job builds its own Scheduler/Network from its seed — so per-seed
+// determinism is preserved by construction, and a crashing job takes down
+// only its own process (surfaced via the exit code), not the whole sweep.
+#ifndef TOOLS_JOB_RUNNER_H_
+#define TOOLS_JOB_RUNNER_H_
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nt {
+
+struct JobOutput {
+  std::string text;   // Everything the job wrote to stdout.
+  int exit_code = 0;  // The value `run` returned (or 128+signal on a crash).
+};
+
+// Runs jobs 0..count-1 with up to `jobs` concurrent forked workers. `run(i)`
+// executes in the child; its return value becomes the job's exit code and
+// everything it prints to stdout is captured. `emit(i, out)` is called in
+// the parent exactly once per job, in increasing job order.
+inline void RunJobsForked(uint64_t count, int jobs, const std::function<int(uint64_t)>& run,
+                          const std::function<void(uint64_t, const JobOutput&)>& emit) {
+  struct Child {
+    pid_t pid;
+    int fd;
+    uint64_t job;
+    std::string buf;
+  };
+  std::vector<Child> active;
+  std::map<uint64_t, JobOutput> done;  // Finished jobs waiting their turn.
+  uint64_t next_spawn = 0;
+  uint64_t next_emit = 0;
+
+  auto spawn_up_to_limit = [&] {
+    while (active.size() < static_cast<size_t>(jobs) && next_spawn < count) {
+      int pipe_fds[2];
+      if (pipe(pipe_fds) != 0) {
+        std::perror("job_runner: pipe");
+        std::exit(2);
+      }
+      std::fflush(stdout);
+      std::fflush(stderr);
+      const pid_t pid = fork();
+      if (pid < 0) {
+        std::perror("job_runner: fork");
+        std::exit(2);
+      }
+      if (pid == 0) {
+        close(pipe_fds[0]);
+        dup2(pipe_fds[1], STDOUT_FILENO);
+        close(pipe_fds[1]);
+        const int code = run(next_spawn);
+        std::fflush(stdout);
+        _exit(code);
+      }
+      close(pipe_fds[1]);
+      active.push_back(Child{pid, pipe_fds[0], next_spawn, {}});
+      ++next_spawn;
+    }
+  };
+
+  auto flush_in_order = [&] {
+    for (auto it = done.find(next_emit); it != done.end(); it = done.find(next_emit)) {
+      emit(it->first, it->second);
+      done.erase(it);
+      ++next_emit;
+    }
+  };
+
+  spawn_up_to_limit();
+  while (next_emit < count) {
+    std::vector<pollfd> fds;
+    fds.reserve(active.size());
+    for (const Child& c : active) {
+      fds.push_back(pollfd{c.fd, POLLIN, 0});
+    }
+    if (poll(fds.data(), fds.size(), -1) < 0) {
+      continue;  // EINTR: retry.
+    }
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP)) == 0) {
+        continue;
+      }
+      char chunk[4096];
+      const ssize_t n = read(fds[i].fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        active[i].buf.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      // EOF: the child has exited (or closed stdout); reap it.
+      close(active[i].fd);
+      int status = 0;
+      waitpid(active[i].pid, &status, 0);
+      JobOutput out;
+      out.text = std::move(active[i].buf);
+      out.exit_code = WIFEXITED(status) ? WEXITSTATUS(status)
+                                        : 128 + (WIFSIGNALED(status) ? WTERMSIG(status) : 0);
+      done.emplace(active[i].job, std::move(out));
+      active.erase(active.begin() + static_cast<long>(i));
+      break;  // fds indices are stale now; rebuild on the next pass.
+    }
+    flush_in_order();
+    spawn_up_to_limit();
+  }
+}
+
+}  // namespace nt
+
+#endif  // TOOLS_JOB_RUNNER_H_

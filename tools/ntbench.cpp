@@ -18,6 +18,7 @@
 //   --warmup SECS     measurement warm-up (default 5)
 //   --seed S          root seed (default 1)
 //   --runs R          averaged runs with distinct seeds (default 1)
+//   --jobs N          fork up to N workers for the --runs sweep (default 1)
 //   --batch-kb KB     worker batch size (default 500)
 //   --real-crypto     RFC 8032 Ed25519 signatures (default: FastSigner)
 //   --async-from S --async-to S --async-factor X   asynchrony window
@@ -25,12 +26,15 @@
 //                     PATH (open in chrome://tracing or ui.perfetto.dev) and
 //                     print the per-stage latency breakdown
 //   --csv             machine-readable one-line output
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "tools/job_runner.h"
 
 using namespace nt;
 
@@ -60,6 +64,55 @@ SystemKind ParseSystem(const std::string& name) {
   Usage("unknown --system");
 }
 
+// Parallel counterpart of RunAveraged. Run 0 executes in-process so its full
+// ExperimentResult can supply the metadata fields (and any --trace output);
+// the remaining runs fork via RunJobsForked and ship their three samples back
+// over the pipe as a text line. Seeds follow RunAveraged's cumulative walk
+// (run i uses seed + i*(i+1)/2) and samples feed the stats in run order, so
+// the reported means and stddevs are bit-identical to a sequential sweep.
+AveragedResult RunAveragedForked(const ExperimentParams& base, int runs, int jobs) {
+  ExperimentResult first = RunExperiment(base);
+  std::vector<std::array<double, 3>> samples(static_cast<size_t>(runs));
+  samples[0] = {first.tps, first.avg_latency_s, first.p99_latency_s};
+  RunJobsForked(
+      static_cast<uint64_t>(runs) - 1, jobs,
+      [&](uint64_t j) {
+        const uint64_t i = j + 1;
+        ExperimentParams p = base;
+        p.seed = base.seed + i * (i + 1) / 2;
+        p.trace = false;  // Tracing belongs to run 0 in the parent.
+        ExperimentResult r = RunExperiment(p);
+        // %.17g round-trips doubles exactly, so the parent's stats see the
+        // same bits a sequential run would.
+        std::printf("SAMPLE %.17g %.17g %.17g\n", r.tps, r.avg_latency_s, r.p99_latency_s);
+        return 0;
+      },
+      [&](uint64_t j, const JobOutput& out) {
+        const char* line = std::strstr(out.text.c_str(), "SAMPLE ");
+        std::array<double, 3>& s = samples[static_cast<size_t>(j) + 1];
+        if (out.exit_code != 0 || line == nullptr ||
+            std::sscanf(line, "SAMPLE %lg %lg %lg", &s[0], &s[1], &s[2]) != 3) {
+          std::fprintf(stderr, "ntbench: worker for run %llu failed (exit %d)\n",
+                       static_cast<unsigned long long>(j + 1), out.exit_code);
+          std::exit(2);
+        }
+      });
+  AveragedResult out;
+  out.first = first;
+  SampleStats tps, latency, p99;
+  for (const std::array<double, 3>& s : samples) {
+    tps.Add(s[0]);
+    latency.Add(s[1]);
+    p99.Add(s[2]);
+  }
+  out.tps_mean = tps.Mean();
+  out.tps_stddev = tps.StdDev();
+  out.latency_mean = latency.Mean();
+  out.latency_stddev = latency.StdDev();
+  out.p99_mean = p99.Mean();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,6 +121,7 @@ int main(int argc, char** argv) {
   params.duration = Seconds(20);
   params.warmup = Seconds(5);
   int runs = 1;
+  int jobs = 1;
   bool csv = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -100,6 +154,11 @@ int main(int argc, char** argv) {
       params.seed = std::stoull(next());
     } else if (flag == "--runs") {
       runs = std::stoi(next());
+    } else if (flag == "--jobs") {
+      jobs = std::stoi(next());
+      if (jobs < 1) {
+        Usage("--jobs needs a positive worker count");
+      }
     } else if (flag == "--batch-kb") {
       params.cluster.narwhal.batch_size_bytes = std::stoull(next()) * 1000;
     } else if (flag == "--real-crypto") {
@@ -128,7 +187,8 @@ int main(int argc, char** argv) {
     Usage("warmup must be below duration");
   }
 
-  AveragedResult result = RunAveraged(params, runs);
+  AveragedResult result = (jobs > 1 && runs > 1) ? RunAveragedForked(params, runs, jobs)
+                                                 : RunAveraged(params, runs);
   if (csv) {
     std::printf("system,nodes,workers,faults,input_tps,tps,tps_stddev,avg_latency_s,"
                 "latency_stddev_s,p99_latency_s,abandoned\n");

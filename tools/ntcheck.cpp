@@ -8,6 +8,15 @@
 //   ntcheck --corpus FILE              replay every repro block in FILE
 //   ntcheck --no-shrink                report failures without minimizing
 //   ntcheck --out FILE                 write the shrunk repro here
+//   ntcheck --jobs N                   fuzz seeds across N forked workers
+//
+// --jobs forks one process per seed (N at a time) and merges the captured
+// output in seed order, so verdicts are byte-identical to a sequential
+// sweep. It applies to the seed-sweep mode only: --replay and --corpus stay
+// sequential, --bug ignores it (the sweep stops at the first violation, an
+// inherently sequential contract), and --out is refused under --jobs
+// (concurrent failing seeds would race on the file; shrunk repros still
+// print inline).
 //
 // Exit code 0 = all schedules clean, 1 = invariant violation, 2 = usage.
 #include <cstdio>
@@ -16,6 +25,8 @@
 #include <optional>
 #include <sstream>
 #include <string>
+
+#include "tools/job_runner.h"
 
 #include "src/check/checker.h"
 #include "src/check/shrinker.h"
@@ -69,6 +80,7 @@ int main(int argc, char** argv) {
   std::string replay_path;
   std::string corpus_path;
   std::string out_path;
+  int jobs = 1;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -113,10 +125,17 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--no-shrink") {
       shrink = false;
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(next());
+      if (jobs < 1) {
+        std::fprintf(stderr, "--jobs needs a positive worker count\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: ntcheck [--seeds N] [--start S] [--system tusk|narwhal-hs|both]\n"
                   "               [--bug accept_2f_certs|skip_tusk_support]\n"
-                  "               [--replay FILE] [--corpus FILE] [--no-shrink] [--out FILE]\n");
+                  "               [--replay FILE] [--corpus FILE] [--no-shrink] [--out FILE]\n"
+                  "               [--jobs N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
@@ -190,7 +209,7 @@ int main(int argc, char** argv) {
     return failures > 0 ? 1 : 0;
   }
 
-  for (uint64_t i = 0; i < seeds; ++i) {
+  auto run_seed = [&](uint64_t i) {
     uint64_t seed = start + i;
     std::optional<SystemKind> pin = system;
     if (both_systems) {
@@ -201,8 +220,41 @@ int main(int argc, char** argv) {
     schedule.bug_skip_tusk_support = bug_skip_support;
     // Determinism self-check piggybacks on the first schedule of each batch.
     run_one(schedule, /*self_check=*/i == 0);
-    if (failures > 0 && (bug_accept_2f || bug_skip_support)) {
-      break;  // Mutation mode: first caught violation proves the point.
+  };
+
+  if (jobs > 1 && (bug_accept_2f || bug_skip_support)) {
+    std::fprintf(stderr, "note: --bug stops at the first violation; ignoring --jobs\n");
+    jobs = 1;
+  }
+  if (jobs > 1 && !out_path.empty()) {
+    std::fprintf(stderr, "--out cannot be combined with --jobs (workers would race on the "
+                         "file); drop one of them\n");
+    return 2;
+  }
+
+  if (jobs > 1) {
+    // Each worker runs one seed in a forked copy of this process and the
+    // captured output is re-emitted in seed order, so the merged stream and
+    // the exit code match a sequential sweep exactly.
+    nt::RunJobsForked(
+        seeds, jobs,
+        [&](uint64_t i) {
+          failures = 0;  // This fork reports only its own seed's verdict.
+          run_seed(i);
+          return failures > 0 ? 1 : 0;
+        },
+        [&](uint64_t, const nt::JobOutput& out) {
+          std::fputs(out.text.c_str(), stdout);
+          // One failure per failing seed, matching the sequential count (a
+          // crashed worker reports 128+signal; it still counts once).
+          failures += out.exit_code != 0 ? 1 : 0;
+        });
+  } else {
+    for (uint64_t i = 0; i < seeds; ++i) {
+      run_seed(i);
+      if (failures > 0 && (bug_accept_2f || bug_skip_support)) {
+        break;  // Mutation mode: first caught violation proves the point.
+      }
     }
   }
   std::printf("%llu seed(s), %d failure(s)\n", static_cast<unsigned long long>(seeds), failures);

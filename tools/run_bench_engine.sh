@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Build and run the simulator-engine microbenchmark, refreshing the committed
+# BENCH_sim_engine.json at the repo root. Any extra arguments are passed to
+# the bench binary, e.g.:
+#   tools/run_bench_engine.sh             # full run (~30s), updates the JSON
+#   tools/run_bench_engine.sh --quick     # 8x smaller workloads, smoke only
+#   tools/run_bench_engine.sh --only midsize   # one scenario, rate to stdout
+#
+# The bench reports current numbers next to the baked-in pre-fast-path
+# baseline (the before_* fields), so the JSON is a self-contained
+# before/after record. Each scenario takes the best of 3 in-process
+# repetitions to damp scheduler noise; treat single runs on a loaded machine
+# as a lower bound.
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build"
+
+if [ ! -f "$build/CMakeCache.txt" ]; then
+  cmake --preset default -S "$repo" > /dev/null
+fi
+cmake --build "$build" --target bench_micro_sched -j "$(nproc)" > /dev/null
+
+# The bench writes BENCH_sim_engine.json into its working directory; run at
+# the repo root so the committed copy is the one refreshed.
+cd "$repo"
+exec "$build/bench/bench_micro_sched" "$@"
