@@ -94,8 +94,30 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
   std::vector<std::unique_ptr<Executor>> executors(n);
   std::vector<std::pair<Digest, Digest>> exec_global;  // (header, state digest).
   std::vector<size_t> exec_len(n, 0);
+  // (7) restart consistency: validators with a scheduled recovery, the
+  // headers each validator has authored (any observer's view), and each
+  // validator's own committed set. A recovered validator must neither author
+  // a second header for a round it signed pre-crash (equivocation through
+  // amnesia) nor re-deliver a commit its pre-crash incarnation already
+  // delivered.
+  std::set<ValidatorId> restarting;
+  std::set<ValidatorId> byzantine;
+  for (const FaultSchedule::Crash& c : schedule.crashes) {
+    if (c.recovers()) {
+      restarting.insert(c.validator);
+    }
+  }
+  for (const FaultSchedule::Equivocate& e : schedule.equivocators) {
+    byzantine.insert(e.validator);
+  }
+  std::map<std::pair<Round, ValidatorId>, std::set<Digest>> authored;
+  std::vector<std::set<Digest>> committed_set(n);
 
-  for (ValidatorId v = 0; v < n; ++v) {
+  // All per-validator hook wiring lives in one re-callable closure: a
+  // restarted validator's Primary/consensus objects are new allocations, so
+  // the cluster re-invokes this (via set_on_validator_rebuilt) after every
+  // rebuild, before the recovered node starts.
+  auto wire_validator = [&](ValidatorId v) {
     Primary* primary = cluster.primary(v);
     primary->add_on_certificate([&, primary](const Certificate& cert) {
       auto& digests = accepted[{cert.round, cert.author}];
@@ -114,12 +136,30 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
     primary->add_on_header_stored([&, primary](const Digest& digest) {
       if (auto header = primary->dag().GetHeader(digest)) {
         union_dag.AddHeader(header, digest);
+        // (7) equivocation-through-amnesia: two distinct header digests for
+        // one (round, author) where the author restarted cleanly means its
+        // recovered vote/proposal ledger failed to stop a double-sign.
+        if (restarting.count(header->author) != 0 && byzantine.count(header->author) == 0) {
+          auto& mine = authored[{header->round, header->author}];
+          mine.insert(digest);
+          if (mine.size() > 1) {
+            violation("restart-consistency",
+                      "recovered validator " + std::to_string(header->author) +
+                          " authored " + std::to_string(mine.size()) +
+                          " distinct headers for round " + std::to_string(header->round));
+          }
+        }
       }
     });
 
-    Worker* worker = cluster.worker(v, 0);
-    executors[v] = std::make_unique<Executor>(
-        &machines[v], [worker](const BatchRef& ref) { return worker->GetBatch(ref.digest); });
+    // Resolve the worker at fetch time: a restarted validator's Worker is a
+    // new object, and a raw pointer captured here would dangle after the
+    // rebuild.
+    if (executors[v] == nullptr) {
+      executors[v] = std::make_unique<Executor>(&machines[v], [&cluster, v](const BatchRef& ref) {
+        return cluster.worker(v, 0)->GetBatch(ref.digest);
+      });
+    }
     executors[v]->set_on_executed([&, v](const Digest& header_digest, const Digest& state) {
       size_t i = exec_len[v]++;
       if (i < exec_global.size()) {
@@ -137,6 +177,16 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
     // Per-commit evaluation shared by both systems.
     auto on_committed = [&, v](const Digest& digest,
                                const std::shared_ptr<const BlockHeader>& header) {
+      // (7) re-delivery: the committed sets recovered from the store must
+      // make delivery exactly-once across the crash. (Checker-side state
+      // survives the rebuild, so a pre-crash delivery is still recorded
+      // here.)
+      if (!committed_set[v].insert(digest).second) {
+        violation("restart-consistency",
+                  "validator " + std::to_string(v) + " re-delivered commit " +
+                      DigestPrefix(digest) + " after restart");
+        return;
+      }
       size_t i = commit_seq[v].size();
       commit_seq[v].push_back(digest);
       last_commit[v] = scheduler.now();
@@ -176,11 +226,19 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
       auto* provider = dynamic_cast<NarwhalProvider*>(cluster.provider(v));
       provider->add_on_header_commit(on_committed);
     }
+  };
+  for (ValidatorId v = 0; v < n; ++v) {
+    wire_validator(v);
   }
+  cluster.set_on_validator_rebuilt(wire_validator);
 
   // --- fault script ---------------------------------------------------------
   for (const FaultSchedule::Crash& c : schedule.crashes) {
-    cluster.CrashValidator(c.validator, c.at);
+    if (c.recovers() && cluster.SupportsRestart()) {
+      cluster.RestartValidator(c.validator, c.at, c.recover_at);
+    } else {
+      cluster.CrashValidator(c.validator, c.at);
+    }
   }
   for (const FaultSchedule::Partition& p : schedule.partitions) {
     cluster.IsolateValidator(p.validator, p.start, p.end);

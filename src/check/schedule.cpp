@@ -24,6 +24,16 @@ TimePoint FaultSchedule::Gst() const {
     gst = std::max(gst, a.end + static_cast<TimeDelta>(a.factor *
                                                        static_cast<double>(kPropagationBound)));
   }
+  // A restarted validator replays its store instantly (simulated disk) but
+  // still has to re-fetch the DAG suffix it missed through the header
+  // synchronizer — a round-trip per missing round in the worst case. Two
+  // seconds covers the deepest suffix a bounded down-window can create.
+  static constexpr TimeDelta kResyncBound = Seconds(2);
+  for (const Crash& c : crashes) {
+    if (c.recovers()) {
+      gst = std::max(gst, c.recover_at + kResyncBound);
+    }
+  }
   return gst;
 }
 
@@ -34,7 +44,7 @@ size_t FaultSchedule::FaultCount() const {
 
 bool FaultSchedule::IsCorrect(ValidatorId v) const {
   for (const Crash& c : crashes) {
-    if (c.validator == v) {
+    if (c.validator == v && !c.recovers()) {
       return false;
     }
   }
@@ -102,6 +112,18 @@ FaultSchedule GenerateSchedule(uint64_t seed, std::optional<SystemKind> system_o
 
   s.tx_interval = Millis(150) + static_cast<TimeDelta>(rng.NextBelow(Millis(500)));
 
+  // Restart decisions are drawn *last* so the base schedule for a seed is
+  // byte-identical to the pre-restart corpus (checked-in repros and shrink
+  // behavior stay comparable). About half the crashes come back after a
+  // 1–8 s down-window: long enough for the DAG to move past the crashed
+  // validator, short enough to keep runs bounded. A restarted validator
+  // stays inside the fault budget — it was one of the f while down.
+  for (FaultSchedule::Crash& c : s.crashes) {
+    if (rng.NextBool(0.5)) {
+      c.recover_at = c.at + Seconds(1) + static_cast<TimeDelta>(rng.NextBelow(Seconds(7)));
+    }
+  }
+
   // Liveness needs a bounded window of synchrony after GST (wider for
   // degraded-mode schedules where rounds are retry-paced).
   s.duration = s.Gst() + s.PostGstWindow();
@@ -121,7 +143,11 @@ std::string FaultSchedule::Encode() const {
     out << "loss=" << loss_rate << "\n";
   }
   for (const Crash& c : crashes) {
-    out << "crash=" << c.validator << "@" << c.at << "\n";
+    if (c.recovers()) {
+      out << "restart=" << c.validator << "@" << c.at << "-" << c.recover_at << "\n";
+    } else {
+      out << "crash=" << c.validator << "@" << c.at << "\n";
+    }
   }
   for (const Partition& p : partitions) {
     out << "partition=" << p.validator << "@" << p.start << "-" << p.end << "\n";
@@ -180,6 +206,14 @@ std::optional<FaultSchedule> FaultSchedule::Decode(const std::string& text) {
       FaultSchedule::Crash c;
       v >> c.validator >> sep >> c.at;
       if (sep != '@') {
+        return std::nullopt;
+      }
+      s.crashes.push_back(c);
+    } else if (key == "restart") {
+      FaultSchedule::Crash c;
+      char dash = 0;
+      v >> c.validator >> sep >> c.at >> dash >> c.recover_at;
+      if (sep != '@' || dash != '-' || c.recover_at <= c.at) {
         return std::nullopt;
       }
       s.crashes.push_back(c);

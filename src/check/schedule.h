@@ -26,9 +26,16 @@ struct FaultSchedule {
   uint32_t validators = 4;
   TimeDelta duration = Seconds(12);
 
+  // A crash is permanent when recover_at == 0; otherwise the validator is
+  // down for [at, recover_at) and then rebuilt from its durable stores
+  // (Cluster::RestartValidator). Restarts are only generated for systems
+  // where the cluster supports rebuilds (kTusk, kNarwhalHs — which is all
+  // the DST harness fuzzes).
   struct Crash {
     ValidatorId validator = 0;
     TimePoint at = 0;
+    TimePoint recover_at = 0;
+    bool recovers() const { return recover_at > at; }
   };
   struct Partition {
     ValidatorId validator = 0;
@@ -62,8 +69,10 @@ struct FaultSchedule {
 
   // Global stabilization time: the end of the last partition/asynchrony
   // window (0 when none), extended by the in-flight tail of delayed
-  // messages — crashes are permanent and equivocators stay Byzantine, so
-  // neither delays GST.
+  // messages. Permanent crashes and equivocators never delay GST, but a
+  // *restarting* crash does: the system is only fully stable once the
+  // recovered validator has pulled the DAG suffix it missed, so GST covers
+  // recover_at plus a resync allowance.
   TimePoint Gst() const;
 
   // True when permanent validator faults combine with message loss: the
@@ -81,8 +90,11 @@ struct FaultSchedule {
   // one for nonzero loss). The shrinker minimizes this.
   size_t FaultCount() const;
 
-  // True if `v` is neither crashed at any point nor an equivocator — the
-  // validators whose commit progress the liveness invariant covers.
+  // True if `v` is neither permanently crashed nor an equivocator — the
+  // validators whose commit progress the liveness invariant covers. A
+  // cleanly-restarting validator counts as correct: GST extends past its
+  // recovery, so it is expected to commit in the post-GST window like
+  // everyone else.
   bool IsCorrect(ValidatorId v) const;
 
   // Text repro format: `key=value` lines, one per field/fault.

@@ -59,7 +59,29 @@ std::vector<FaultSchedule> Candidates(const FaultSchedule& s) {
   for (size_t i = 0; i < s.crashes.size(); ++i) {
     FaultSchedule t = s;
     t.crashes.erase(t.crashes.begin() + i);
+    FitDuration(t);
     out.push_back(std::move(t));
+  }
+  // Simplify restarts without dropping them: a permanent crash removes the
+  // whole recovery path from the repro, and a narrower down-window trims the
+  // DAG suffix the rebuilt validator has to re-fetch.
+  for (size_t i = 0; i < s.crashes.size(); ++i) {
+    if (!s.crashes[i].recovers()) {
+      continue;
+    }
+    {
+      FaultSchedule t = s;
+      t.crashes[i].recover_at = 0;
+      FitDuration(t);
+      out.push_back(std::move(t));
+    }
+    if (s.crashes[i].recover_at - s.crashes[i].at >= Millis(400)) {
+      FaultSchedule t = s;
+      t.crashes[i].recover_at =
+          t.crashes[i].at + (t.crashes[i].recover_at - t.crashes[i].at) / 2;
+      FitDuration(t);
+      out.push_back(std::move(t));
+    }
   }
   for (size_t i = 0; i < s.partitions.size(); ++i) {
     FaultSchedule t = s;

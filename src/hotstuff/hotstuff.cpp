@@ -1,7 +1,9 @@
 #include "src/hotstuff/hotstuff.h"
 
 #include <algorithm>
+#include <string_view>
 
+#include "src/common/codec.h"
 #include "src/common/logging.h"
 #include "src/types/cert_cache.h"
 
@@ -9,6 +11,43 @@ namespace nt {
 namespace {
 
 const Digest kGenesisDigest{};  // All zeros.
+
+// Consensus-store keys. Tags are globally unique within the store shared by
+// consensus interpreters ('T'/'U' belong to Tusk, 'N' to NarwhalProvider).
+Digest HsCommitKey(const Digest& digest) {
+  Writer w;
+  w.PutU8('K');
+  w.PutRaw(digest);
+  return Sha256::Hash(w.bytes().data(), w.size());
+}
+Digest HsVoteKey() { return Sha256::Hash(std::string_view("hs/vote")); }
+Digest HsLockKey() { return Sha256::Hash(std::string_view("hs/lock")); }
+Digest HsViewKey() { return Sha256::Hash(std::string_view("hs/view")); }
+Digest HsProposedKey() { return Sha256::Hash(std::string_view("hs/proposed")); }
+Digest HsHighQcKey() { return Sha256::Hash(std::string_view("hs/highqc")); }
+
+void EncodeQc(Writer& w, const QuorumCert& qc) {
+  w.PutRaw(qc.block_digest);
+  w.PutU64(qc.view);
+  w.PutU32(static_cast<uint32_t>(qc.votes.size()));
+  for (const auto& [voter, sig] : qc.votes) {
+    w.PutU32(voter);
+    w.PutRaw(sig);
+  }
+}
+
+QuorumCert DecodeQc(Reader& r) {
+  QuorumCert qc;
+  qc.block_digest = r.GetArray<32>();
+  qc.view = r.GetU64();
+  uint32_t count = r.GetU32();
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    ValidatorId voter = r.GetU32();
+    Signature sig = r.GetArray<64>();
+    qc.votes.emplace_back(voter, sig);
+  }
+  return qc;
+}
 
 }  // namespace
 
@@ -25,10 +64,165 @@ HotStuff::HotStuff(ValidatorId id, const Committee& committee, const HotStuffCon
   high_qc_ = QuorumCert{};  // Genesis QC: zero digest, view 0.
 }
 
+HotStuff::~HotStuff() { *alive_ = false; }
+
 void HotStuff::OnStart() {
   provider_->OnStart();
   StartTimer();
   MaybePropose();
+}
+
+// ---------------------------------------------------------------- persistence
+
+void HotStuff::PersistVote() {
+  if (store_ == nullptr) {
+    return;
+  }
+  Writer w;
+  w.PutU8('W');
+  w.PutU64(last_voted_view_);
+  w.PutRaw(last_voted_digest_);
+  store_->Put(HsVoteKey(), w.Take());
+  // Durability barrier: the vote record must hit disk before the signature
+  // leaves this node, or a crash-restart could sign a conflicting vote.
+  store_->Sync();
+}
+
+void HotStuff::PersistLock() {
+  if (store_ == nullptr) {
+    return;
+  }
+  Writer w;
+  w.PutU8('L');
+  w.PutU64(locked_view_);
+  w.PutRaw(locked_block_);
+  store_->Put(HsLockKey(), w.Take());
+  // The lock is part of the safety rule; losing it across a restart could
+  // let the node vote for a branch conflicting with a commit in flight.
+  store_->Sync();
+}
+
+void HotStuff::PersistView() {
+  if (store_ == nullptr) {
+    return;
+  }
+  Writer w;
+  w.PutU8('E');
+  w.PutU64(view_);
+  store_->Put(HsViewKey(), w.Take());
+}
+
+void HotStuff::PersistProposedMarker() {
+  if (store_ == nullptr) {
+    return;
+  }
+  Writer w;
+  w.PutU8('F');
+  w.PutU64(view_);
+  store_->Put(HsProposedKey(), w.Take());
+  // Leader-equivocation guard: restart must not re-propose a different
+  // block in a view this node already proposed in.
+  store_->Sync();
+}
+
+void HotStuff::PersistHighQc() {
+  if (store_ == nullptr) {
+    return;
+  }
+  Writer w;
+  w.PutU8('Q');
+  EncodeQc(w, high_qc_);
+  store_->Put(HsHighQcKey(), w.Take());
+}
+
+void HotStuff::PersistCommit(const Digest& digest) {
+  if (store_ == nullptr) {
+    return;
+  }
+  Writer w;
+  w.PutU8('K');
+  w.PutRaw(digest);
+  store_->Put(HsCommitKey(digest), w.Take());
+}
+
+void HotStuff::Recover() {
+  if (store_ == nullptr) {
+    return;
+  }
+  View proposed_marker = 0;
+  bool have_marker = false;
+  std::vector<Digest> commits;
+  store_->ForEach([&](const Digest&, const Bytes& value) {
+    if (value.empty()) {
+      return;
+    }
+    Reader r(value.data() + 1, value.size() - 1);
+    switch (value[0]) {
+      case 'W': {
+        View view = r.GetU64();
+        Digest digest = r.GetArray<32>();
+        if (r.ok()) {
+          last_voted_view_ = view;
+          last_voted_digest_ = digest;
+        }
+        break;
+      }
+      case 'L': {
+        View view = r.GetU64();
+        Digest digest = r.GetArray<32>();
+        if (r.ok()) {
+          locked_view_ = view;
+          locked_block_ = digest;
+        }
+        break;
+      }
+      case 'E': {
+        View view = r.GetU64();
+        if (r.ok()) {
+          view_ = std::max(view_, view);
+        }
+        break;
+      }
+      case 'F': {
+        View view = r.GetU64();
+        if (r.ok()) {
+          proposed_marker = view;
+          have_marker = true;
+        }
+        break;
+      }
+      case 'Q': {
+        QuorumCert qc = DecodeQc(r);
+        if (r.ok() && qc.view > high_qc_.view) {
+          high_qc_ = qc;
+        }
+        break;
+      }
+      case 'K': {
+        Digest digest = r.GetArray<32>();
+        if (r.ok()) {
+          commits.push_back(digest);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  });
+  // A crash between persisting the vote/QC and the view record must not
+  // resurrect the node in an older view than it acted in.
+  view_ = std::max(view_, std::max(last_voted_view_, high_qc_.view + 1));
+  if (have_marker && proposed_marker >= view_) {
+    proposed_in_view_ = true;  // Never a second proposal for this view.
+  }
+  // Restore the committed set; block bodies are gone but the set terminates
+  // ancestor walks, so catch-up stops at the recovered commit frontier and
+  // post-recovery commits extend the pre-crash prefix. Delivery bookkeeping
+  // (payload re-injection) is the provider's own recovered state.
+  for (const Digest& d : commits) {
+    committed_.insert(d);
+  }
+  committed_count_ = commits.size();
 }
 
 void HotStuff::Broadcast(const MessagePtr& msg) {
@@ -53,6 +247,7 @@ void HotStuff::EnterView(View view) {
   view_ = view;
   proposed_in_view_ = false;
   consecutive_timeouts_ = 0;  // Progress: restart backoff from the base.
+  PersistView();
   StartTimer();
   MaybePropose();
 }
@@ -64,8 +259,12 @@ void HotStuff::StartTimer() {
   uint32_t doublings = std::min(consecutive_timeouts_, config_.max_backoff_doublings);
   TimeDelta timeout = config_.base_timeout << doublings;
   View armed_view = view_;
-  view_timer_ =
-      network_->scheduler()->ScheduleAfter(timeout, [this, armed_view] { OnTimeout(armed_view); });
+  view_timer_ = network_->scheduler()->ScheduleAfter(
+      timeout, [this, alive = alive_, armed_view] {
+        if (*alive) {
+          OnTimeout(armed_view);
+        }
+      });
 }
 
 void HotStuff::OnTimeout(View view) {
@@ -102,12 +301,15 @@ void HotStuff::MaybePropose() {
   Digest digest = block->ComputeDigest();
   block->author_sig = signer_->Sign(digest);
   proposed_in_view_ = true;
+  PersistProposedMarker();
 
   blocks_[digest] = block;
   Broadcast(std::make_shared<MsgHsProposal>(block, digest));
   network_->scheduler()->ScheduleAfter(config_.proposal_retry_delay,
-                                       [this, digest, v = block->view] {
-                                         RetryProposal(digest, v, 0);
+                                       [this, alive = alive_, digest, v = block->view] {
+                                         if (*alive) {
+                                           RetryProposal(digest, v, 0);
+                                         }
                                        });
   UpdateChain(*block);
   TryVote(digest);
@@ -124,8 +326,10 @@ void HotStuff::RetryProposal(const Digest& digest, View view, uint32_t attempt) 
   Broadcast(std::make_shared<MsgHsProposal>(it->second, digest));
   uint32_t next = attempt + 1;
   TimeDelta delay = config_.proposal_retry_delay << std::min(next, 3u);
-  network_->scheduler()->ScheduleAfter(delay, [this, digest, view, next] {
-    RetryProposal(digest, view, next);
+  network_->scheduler()->ScheduleAfter(delay, [this, alive = alive_, digest, view, next] {
+    if (*alive) {
+      RetryProposal(digest, view, next);
+    }
   });
 }
 
@@ -249,6 +453,8 @@ void HotStuff::TryVote(const Digest& digest) {
 void HotStuff::CastVote(const HsBlock& block, const Digest& digest) {
   last_voted_view_ = block.view;
   last_voted_digest_ = digest;
+  // Write-ahead: the vote ledger is durable before the signature leaves.
+  PersistVote();
   Signature sig = signer_->Sign(QuorumCert::VotePreimage(digest, block.view));
   auto vote = std::make_shared<MsgHsVote>(digest, block.view, id_, sig);
   ValidatorId next_leader = LeaderOf(block.view + 1);
@@ -294,6 +500,7 @@ void HotStuff::HandleVote(const MsgHsVote& msg) {
 void HotStuff::AdoptQc(const QuorumCert& qc) {
   if (qc.view > high_qc_.view) {
     high_qc_ = qc;
+    PersistHighQc();
   }
   if (qc.view + 1 > view_) {
     EnterView(qc.view + 1);
@@ -317,6 +524,7 @@ void HotStuff::UpdateChain(const HsBlock& block) {
   if (y->view > locked_view_) {
     locked_view_ = y->view;
     locked_block_ = y_digest;
+    PersistLock();
   }
   const Digest& z_digest = y->justify.block_digest;
   const HsBlock* z = GetBlock(z_digest);
@@ -348,6 +556,8 @@ void HotStuff::CommitUpTo(const Digest& digest) {
   std::reverse(chain.begin(), chain.end());
   for (const Digest& d : chain) {
     const HsBlock* b = GetBlock(d);
+    // Write-ahead: the commit record is durable before any hook observes it.
+    PersistCommit(d);
     committed_.insert(d);
     last_committed_ = d;
     ++committed_count_;
@@ -411,6 +621,7 @@ void HotStuff::HandleTimeout(const MsgHsTimeout& msg) {
         view_ = msg.view;  // Jump without proposing; safety is unaffected.
         proposed_in_view_ = false;
         consecutive_timeouts_ = 0;
+        PersistView();
       }
       OnTimeout(view_);  // Sign + broadcast + rearm the backoff timer.
     }
@@ -441,8 +652,8 @@ void HotStuff::RequestBlock(const Digest& digest, uint32_t hint) {
     return;
   }
   network_->Send(net_id_, hint, std::make_shared<MsgHsBlockRequest>(digest));
-  network_->scheduler()->ScheduleAfter(config_.sync_retry_delay, [this, digest] {
-    if (blocks_.count(digest) != 0) {
+  network_->scheduler()->ScheduleAfter(config_.sync_retry_delay, [this, alive = alive_, digest] {
+    if (!*alive || blocks_.count(digest) != 0) {
       return;
     }
     fetching_blocks_.erase(digest);

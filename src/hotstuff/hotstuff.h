@@ -25,6 +25,7 @@
 #include "src/hotstuff/messages.h"
 #include "src/hotstuff/payload.h"
 #include "src/net/network.h"
+#include "src/store/store.h"
 #include "src/types/cert_cache.h"
 #include "src/types/committee.h"
 
@@ -50,8 +51,22 @@ class HotStuff : public NetNode {
  public:
   HotStuff(ValidatorId id, const Committee& committee, const HotStuffConfig& config,
            Network* network, Signer* signer, PayloadProvider* provider);
+  ~HotStuff() override;
 
   void set_net_id(uint32_t id) { net_id_ = id; }
+
+  // Attaches the durable consensus store (non-owning; null = ephemeral).
+  // The vote-safety ledger (last vote, lock, view, proposal marker, high QC,
+  // committed digests) is write-ahead persisted; blocks themselves are not —
+  // a recovered node re-fetches chain bodies through the existing ancestor
+  // catch-up path.
+  void set_store(Store* store) { store_ = store; }
+
+  // Restores the vote-safety ledger from the store. Call after construction
+  // and before OnStart. The restored last-voted/lock/proposed-view state is
+  // the double-vote (equivocation) guard: a recovered validator never signs
+  // a second vote or proposal for a view it signed pre-crash.
+  void Recover();
   void set_peers(std::vector<uint32_t> consensus_net_ids) { peers_ = std::move(consensus_net_ids); }
 
   // Attaches the cluster's tracer (nullptr = tracing off, the default).
@@ -108,6 +123,16 @@ class HotStuff : public NetNode {
   const HsBlock* GetBlock(const Digest& digest) const;
   void Broadcast(const MessagePtr& msg);
 
+  // Persistence (no-ops without a store). Tags are globally unique within
+  // the shared consensus store: 'W' last vote, 'L' lock, 'E' view, 'F'
+  // proposed-view marker, 'Q' high QC, 'K' committed digest.
+  void PersistVote();
+  void PersistLock();
+  void PersistView();
+  void PersistProposedMarker();
+  void PersistHighQc();
+  void PersistCommit(const Digest& digest);
+
   ValidatorId id_;
   const Committee& committee_;
   HotStuffConfig config_;
@@ -149,6 +174,11 @@ class HotStuff : public NetNode {
   CommitHook on_commit_;
   uint64_t committed_count_ = 0;
   uint64_t timeouts_fired_ = 0;
+
+  Store* store_ = nullptr;
+
+  // Liveness flag captured by scheduled lambdas; see Primary::alive_.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace nt

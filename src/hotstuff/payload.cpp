@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/codec.h"
 #include "src/common/logging.h"
 
 namespace nt {
@@ -231,11 +232,50 @@ void BatchedProvider::OnCommit(const HsPayload& payload, ValidatorId) {
 
 // ---------------------------------------------------------- NarwhalProvider
 
+namespace {
+// Consensus-store key for a delivered-header record. The 'N' tag is globally
+// unique within the store shared with the HotStuff core ('W'/'L'/'E'/'F'/
+// 'Q'/'K') and Tusk ('T'/'U').
+Digest ProviderCommitKey(const Digest& digest) {
+  Writer w;
+  w.PutU8('N');
+  w.PutRaw(digest);
+  return Sha256::Hash(w.bytes().data(), w.size());
+}
+}  // namespace
+
 NarwhalProvider::NarwhalProvider(ValidatorId id, const Committee& committee, Primary* primary,
                                  BatchDirectory* directory, Round gc_depth)
     : id_(id), committee_(committee), primary_(primary), directory_(directory),
       gc_depth_(gc_depth) {
   primary_->add_on_header_stored([this](const Digest&) { DrainPending(); });
+}
+
+void NarwhalProvider::Recover() {
+  if (store_ == nullptr) {
+    return;
+  }
+  store_->ForEach([this](const Digest&, const Bytes& value) {
+    if (value.empty() || value[0] != 'N') {
+      return;
+    }
+    Reader r(value.data() + 1, value.size() - 1);
+    Digest digest = r.GetArray<32>();
+    if (!r.ok()) {
+      return;
+    }
+    if (committed_.insert(digest).second) {
+      ++committed_count_;
+    }
+  });
+  // Refresh the primary's commit bookkeeping for delivered headers the
+  // recovered DAG still holds, so committed batches are not re-injected.
+  for (const Digest& digest : committed_) {
+    auto header = primary_->dag().GetHeader(digest);
+    if (header != nullptr) {
+      primary_->NotifyCommitted(*header);
+    }
+  }
 }
 
 HsPayload NarwhalProvider::GetPayload(View) {
@@ -304,6 +344,13 @@ void NarwhalProvider::DeliverHistory(const Dag::History& history) {
   Round max_round = 0;
   for (const Digest& digest : history.ordered) {
     auto header = dag.GetHeader(digest);
+    if (store_ != nullptr) {
+      // Write-ahead: durable before any hook or sink observes the delivery.
+      Writer w;
+      w.PutU8('N');
+      w.PutRaw(digest);
+      store_->Put(ProviderCommitKey(digest), w.Take());
+    }
     committed_.insert(digest);
     ++committed_count_;
     max_round = std::max(max_round, header->round);

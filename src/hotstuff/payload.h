@@ -191,6 +191,17 @@ class NarwhalProvider : public PayloadProvider {
                     std::function<void()> ready) override;
   void OnCommit(const HsPayload& payload, ValidatorId block_author) override;
 
+  // Attaches the durable consensus store (non-owning, shared with the
+  // HotStuff core; null = ephemeral). Delivered-header records ('N' tag) are
+  // write-ahead persisted so a recovered validator never re-delivers — and
+  // never re-injects the batches of — a header it delivered pre-crash.
+  void set_store(Store* store) { store_ = store; }
+
+  // Restores the delivered-header set from the store. Call after the
+  // primary's Recover() and before OnStart; delivers nothing itself but
+  // re-notifies the primary of delivered headers still in the DAG.
+  void Recover();
+
   uint64_t committed_headers() const { return committed_count_; }
   // Anchors committed by consensus whose causal history is still syncing.
   size_t pending_anchor_count() const { return pending_anchors_.size(); }
@@ -215,6 +226,7 @@ class NarwhalProvider : public PayloadProvider {
   Primary* primary_;
   BatchDirectory* directory_;
   Round gc_depth_;
+  Store* store_ = nullptr;
 
   std::set<Digest> committed_;
   std::deque<Digest> pending_anchors_;  // Committed by consensus, awaiting sync.

@@ -98,7 +98,7 @@ void RunNondet(const std::string& path, const Toks& t, std::vector<Finding>* out
   if (ExemptFromNondet(path)) {
     return;
   }
-  static const std::set<std::string> kBannedIncludes = {"chrono", "thread", "ctime"};
+  static const std::set<std::string> kBannedIncludes = {"chrono", "thread", "ctime", "unistd"};
   static const std::set<std::string> kBannedExact = {
       // Wall clocks (bare forms cover `using namespace std::chrono`).
       "system_clock", "steady_clock", "high_resolution_clock", "gettimeofday", "clock_gettime",
@@ -116,6 +116,12 @@ void RunNondet(const std::string& path, const Toks& t, std::vector<Finding>* out
   // lock_guard use) so a deliberate exception needs exactly one annotation.
   static const std::set<std::string> kMutexTypes = {"std::mutex", "std::recursive_mutex",
                                                     "std::shared_mutex", "std::timed_mutex"};
+  // Raw file IO (the fsync/truncate family): real side effects on the host
+  // filesystem, invisible to the simulator and non-replayable. Only the WAL
+  // durability layer may touch these, and each call site carries an explicit
+  // allow — no blanket path exemption.
+  static const std::set<std::string> kBannedFileIo = {"fsync", "fdatasync", "fileno", "ftruncate",
+                                                      "truncate"};
 
   for (size_t i = 0; i < t.size(); ++i) {
     // #include <chrono> etc.
@@ -123,10 +129,13 @@ void RunNondet(const std::string& path, const Toks& t, std::vector<Finding>* out
         IsIdent(t[i + 1], "include") && t[i + 2].text == "<" &&
         t[i + 3].kind == TokKind::kIdent && kBannedIncludes.count(t[i + 3].text) > 0) {
       Report(out, kRuleNondet, t[i].line,
-             "banned include <" + t[i + 3].text + ">: wall-clock/threading source outside src/sim/ and bench/");
+             "banned include <" + t[i + 3].text + ">: wall-clock/threading/file-IO source outside src/sim/ and bench/");
       continue;
     }
-    if (t[i].kind != TokKind::kIdent || (i > 0 && t[i - 1].text == "::")) {
+    // Skip identifiers that are mid-chain (`a::b`); a leading `::` (global
+    // qualification, e.g. `::fsync`) still starts a chain.
+    if (t[i].kind != TokKind::kIdent ||
+        (i > 0 && t[i - 1].text == "::" && i > 1 && t[i - 2].kind == TokKind::kIdent)) {
       continue;
     }
     size_t end = 0;
@@ -147,6 +156,16 @@ void RunNondet(const std::string& path, const Toks& t, std::vector<Finding>* out
         t[end + 1].kind == TokKind::kIdent) {
       Report(out, kRuleNondet, t[i].line,
              "thread primitive '" + chain + "' declared: lock acquisition order is scheduler-dependent");
+      i = end;
+      continue;
+    }
+    // fsync(fd), ::truncate(path, len), ...: flagged only as calls (an
+    // identifier merely *named* truncate — e.g. a member — stays silent via
+    // the `.` check).
+    if (kBannedFileIo.count(chain) > 0 && (i == 0 || t[i - 1].text != ".") &&
+        end + 1 < t.size() && t[end + 1].text == "(") {
+      Report(out, kRuleNondet, t[i].line,
+             "banned call '" + chain + "(...)': raw file IO; durability effects go through the Store interface (per-site allow in the WAL layer only)");
       i = end;
       continue;
     }

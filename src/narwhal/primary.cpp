@@ -1,7 +1,10 @@
 #include "src/narwhal/primary.h"
 
 #include <algorithm>
+#include <cstring>
+#include <string_view>
 
+#include "src/common/codec.h"
 #include "src/common/logging.h"
 #include "src/common/seeded_bugs.h"
 #include "src/narwhal/archive.h"
@@ -18,6 +21,36 @@ uint32_t CertVoteThreshold(const Committee& committee) {
   return seeded_bugs::accept_2f_certs ? std::max(1u, 2 * committee.f())
                                       : committee.quorum_threshold();
 }
+
+// Store record keys. Values carry a one-byte tag ('H' header, 'C' cert,
+// 'V' vote-ledger entry, 'P' own-proposal marker, 'M' meta) so Recover()
+// can dispatch without keeping a key directory.
+Digest HeaderKey(const Digest& digest) {
+  uint8_t buf[33];
+  buf[0] = 'H';
+  std::memcpy(buf + 1, digest.data(), digest.size());
+  return Sha256::Hash(buf, sizeof(buf));
+}
+Digest CertKey(const Digest& header_digest) {
+  uint8_t buf[33];
+  buf[0] = 'C';
+  std::memcpy(buf + 1, header_digest.data(), header_digest.size());
+  return Sha256::Hash(buf, sizeof(buf));
+}
+Digest VoteKey(Round round, ValidatorId author) {
+  Writer w;
+  w.PutU8('V');
+  w.PutU64(round);
+  w.PutU32(author);
+  return Sha256::Hash(w.bytes().data(), w.size());
+}
+Digest ProposalKey(Round round) {
+  Writer w;
+  w.PutU8('P');
+  w.PutU64(round);
+  return Sha256::Hash(w.bytes().data(), w.size());
+}
+Digest MetaKey() { return Sha256::Hash(std::string_view("primary/meta")); }
 }  // namespace
 
 Primary::Primary(ValidatorId id, const Committee& committee, const NarwhalConfig& config,
@@ -29,10 +62,226 @@ Primary::Primary(ValidatorId id, const Committee& committee, const NarwhalConfig
       topology_(topology),
       signer_(signer) {}
 
+Primary::~Primary() { *alive_ = false; }
+
 void Primary::OnStart() {
+  if (recovered_) {
+    // Rejoin after a crash: pull headers the recovered certificates still
+    // miss, re-broadcast the in-flight proposal if one was signed pre-crash
+    // (never sign a second header for that round), and only propose fresh
+    // when the recovered round has no proposal marker.
+    for (const Digest& digest : recovered_missing_headers_) {
+      RequestHeader(digest);
+    }
+    recovered_missing_headers_.clear();
+    if (proposed_current_round_) {
+      RetryBroadcast(recovered_proposal_, round_, 0);
+    } else {
+      SchedulePropose();
+    }
+    return;
+  }
   // Genesis (paper §3.1): every validator creates and certifies an empty
   // block for round 0; round-1 blocks reference 2f+1 of their certificates.
   ProposeNow();
+}
+
+// ---------------------------------------------------------------- persistence
+
+void Primary::PersistHeader(const BlockHeader& header, const Digest& digest) {
+  if (store_ == nullptr) {
+    return;
+  }
+  Digest key = HeaderKey(digest);
+  if (store_->Contains(key)) {
+    return;
+  }
+  Writer w;
+  w.PutU8('H');
+  header.Encode(w);
+  store_->Put(key, w.Take());
+}
+
+void Primary::PersistCertificate(const Certificate& cert) {
+  if (store_ == nullptr) {
+    return;
+  }
+  Writer w;
+  w.PutU8('C');
+  cert.Encode(w);
+  store_->Put(CertKey(cert.header_digest), w.Take());
+}
+
+void Primary::PersistVote(Round round, ValidatorId author, const Digest& digest) {
+  if (store_ == nullptr) {
+    return;
+  }
+  Digest key = VoteKey(round, author);
+  if (store_->Contains(key)) {
+    return;  // Re-sent vote: the ledger entry is already durable.
+  }
+  Writer w;
+  w.PutU8('V');
+  w.PutU64(round);
+  w.PutU32(author);
+  w.PutRaw(digest);
+  store_->Put(key, w.Take());
+  // Durability barrier at the signing boundary: once the vote is on the
+  // wire, the ledger entry it came from must survive a crash, or a
+  // recovered validator could sign a conflicting header for this round.
+  store_->Sync();
+}
+
+void Primary::PersistProposalMarker(Round round, const Digest& digest) {
+  if (store_ == nullptr) {
+    return;
+  }
+  Writer w;
+  w.PutU8('P');
+  w.PutU64(round);
+  w.PutRaw(digest);
+  store_->Put(ProposalKey(round), w.Take());
+  store_->Sync();  // Same signing-boundary barrier as PersistVote.
+}
+
+void Primary::Recover() {
+  if (store_ == nullptr) {
+    return;
+  }
+  recovered_ = true;
+
+  Round gc_round = 0;
+  std::vector<std::pair<Digest, std::shared_ptr<const BlockHeader>>> headers;
+  std::vector<Certificate> certs;
+  struct VoteRec {
+    Round round = 0;
+    ValidatorId author = 0;
+    Digest digest{};
+  };
+  std::vector<VoteRec> votes;
+  std::map<Round, Digest> markers;
+
+  store_->ForEach([&](const Digest&, const Bytes& value) {
+    if (value.empty()) {
+      return;
+    }
+    ++recovered_store_records_;
+    Reader r(value.data() + 1, value.size() - 1);
+    switch (value[0]) {
+      case 'M':
+        gc_round = static_cast<Round>(r.GetU64());
+        break;
+      case 'H': {
+        std::optional<BlockHeader> h = BlockHeader::Decode(r);
+        if (h.has_value()) {
+          auto ptr = std::make_shared<const BlockHeader>(std::move(*h));
+          headers.emplace_back(ptr->ComputeDigest(), std::move(ptr));
+        }
+        break;
+      }
+      case 'C': {
+        std::optional<Certificate> c = Certificate::Decode(r);
+        if (c.has_value()) {
+          certs.push_back(std::move(*c));
+        }
+        break;
+      }
+      case 'V': {
+        VoteRec v;
+        v.round = static_cast<Round>(r.GetU64());
+        v.author = r.GetU32();
+        v.digest = r.GetArray<32>();
+        if (r.ok()) {
+          votes.push_back(v);
+        }
+        break;
+      }
+      case 'P': {
+        Round round = static_cast<Round>(r.GetU64());
+        Digest digest = r.GetArray<32>();
+        if (r.ok()) {
+          markers[round] = digest;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  });
+
+  // Set the GC horizon first so records from rounds that were already
+  // collected pre-crash (written before the last meta update) are filtered
+  // the same way live traffic would be.
+  dag_.GarbageCollect(gc_round);
+  store_gc_round_ = gc_round;
+  for (auto& [digest, header] : headers) {
+    if (header->round >= gc_round && !dag_.HasHeader(digest)) {
+      dag_.AddHeader(header, digest);  // Direct insert: recovery fires no hooks.
+    }
+  }
+  std::sort(certs.begin(), certs.end(), [](const Certificate& a, const Certificate& b) {
+    return a.round != b.round ? a.round < b.round : a.author < b.author;
+  });
+  for (const Certificate& cert : certs) {
+    if (cert.round >= gc_round) {
+      dag_.AddCertificate(cert);
+    }
+  }
+  for (const VoteRec& v : votes) {
+    if (v.round >= gc_round) {
+      voted_[v.round][v.author] = v.digest;
+    }
+  }
+
+  // Re-derive the round exactly as the threshold clock advanced it: every
+  // round it passed through had a certificate quorum, and those
+  // certificates were persisted before the advance.
+  round_ = gc_round;
+  while (dag_.CertCountAt(round_) >= committee_.quorum_threshold()) {
+    ++round_;
+  }
+
+  // Re-inject bookkeeping for own headers (fairness across the crash).
+  for (const auto& [digest, header] : dag_.headers()) {
+    if (header->author != id_) {
+      continue;
+    }
+    own_headers_[digest] = header->batches;
+    for (const BatchRef& ref : header->batches) {
+      included_batches_.insert(ref.digest);
+    }
+  }
+
+  // Double-propose guard: a marker for the current round means a header was
+  // signed for it pre-crash; re-adopt it instead of ever signing another.
+  auto marker = markers.find(round_);
+  if (marker != markers.end()) {
+    proposed_current_round_ = true;
+    recovered_proposal_ = marker->second;
+    if (dag_.GetCertByDigest(marker->second) == nullptr) {
+      std::shared_ptr<const BlockHeader> header = dag_.GetHeader(marker->second);
+      if (header != nullptr) {
+        Proposal& proposal = proposals_[marker->second];
+        proposal.header = header;
+        proposal.digest = marker->second;
+        // Deterministic signatures: the recomputed self-vote equals the
+        // pre-crash one bit for bit.
+        proposal.votes[id_] = signer_->Sign(
+            Certificate::VotePreimage(marker->second, header->round, header->author));
+      }
+    }
+  }
+
+  // Certificates whose headers were never synced (cert-first intake at the
+  // moment of the crash): queue them for the pull synchronizer; OnStart
+  // issues the requests once the node is live.
+  for (Round r = gc_round; r <= dag_.HighestRound(); ++r) {
+    for (const auto& [author, cert] : dag_.CertsAt(r)) {
+      if (!dag_.HasHeader(cert.header_digest)) {
+        recovered_missing_headers_.push_back(cert.header_digest);
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------- proposing
@@ -65,8 +314,11 @@ void Primary::SchedulePropose() {
   // No payload yet: wait up to max_header_delay for worker batches, then
   // propose an empty header to keep the DAG advancing.
   if (propose_timer_ == Scheduler::kInvalidTimer) {
-    propose_timer_ =
-        network_->scheduler()->ScheduleAfter(config_.max_header_delay, [this] {
+    propose_timer_ = network_->scheduler()->ScheduleAfter(
+        config_.max_header_delay, [this, alive = alive_] {
+          if (!*alive) {
+            return;
+          }
           propose_timer_ = Scheduler::kInvalidTimer;
           ProposeNow();
         });
@@ -112,6 +364,9 @@ void Primary::ProposeNow() {
   own_headers_[digest] = std::move(refs);
 
   StoreHeader(header, digest);
+  // Write-ahead double-propose guard: the marker (and the header above) hit
+  // the store before any peer can see the signature.
+  PersistProposalMarker(header->round, digest);
 
   // Self-vote, then reliable-broadcast the header to all other primaries.
   Proposal& proposal = proposals_[digest];
@@ -146,8 +401,10 @@ void Primary::ProposeNow() {
     network_->Send(net_id_, topology_->primary_of[others[i]], msg);
   }
   network_->scheduler()->ScheduleAfter(config_.header_retry_delay,
-                                       [this, digest, r = header->round] {
-                                         RetryBroadcast(digest, r, 0);
+                                       [this, alive = alive_, digest, r = header->round] {
+                                         if (*alive) {
+                                           RetryBroadcast(digest, r, 0);
+                                         }
                                        });
 
   if (equivocate) {
@@ -169,8 +426,10 @@ void Primary::ProposeNow() {
       network_->Send(net_id_, topology_->primary_of[others[i]], twin_msg);
     }
     network_->scheduler()->ScheduleAfter(config_.header_retry_delay,
-                                         [this, twin_digest, r = twin->round] {
-                                           RetryBroadcast(twin_digest, r, 0);
+                                         [this, alive = alive_, twin_digest, r = twin->round] {
+                                           if (*alive) {
+                                             RetryBroadcast(twin_digest, r, 0);
+                                           }
                                          });
   }
 
@@ -224,8 +483,11 @@ void Primary::RetryBroadcast(Digest digest, Round round, uint32_t attempt) {
   // interval must stay well under any post-GST liveness bound (a 32 s gap
   // reads as a dead cluster to everything downstream).
   TimeDelta delay = config_.header_retry_delay << std::min(retries, 3u);
-  network_->scheduler()->ScheduleAfter(
-      delay, [this, digest, round, retries] { RetryBroadcast(digest, round, retries); });
+  network_->scheduler()->ScheduleAfter(delay, [this, alive = alive_, digest, round, retries] {
+    if (*alive) {
+      RetryBroadcast(digest, round, retries);
+    }
+  });
 }
 
 // ------------------------------------------------------------------- voting
@@ -323,6 +585,9 @@ void Primary::HandleHeader(uint32_t from, const MsgHeader& msg) {
 void Primary::FinishVote(const PendingHeader& pending) {
   const BlockHeader& header = *pending.header;
   StoreHeader(pending.header, pending.digest);
+  // Write-ahead double-vote guard: the (round, author) -> digest ledger
+  // entry is durable (and synced) before the signed vote leaves the node.
+  PersistVote(header.round, header.author, pending.digest);
 
   Vote vote;
   vote.header_digest = pending.digest;
@@ -401,6 +666,9 @@ bool Primary::AcceptCertificate(const Certificate& cert, bool request_header_if_
   if (!dag_.AddCertificate(cert)) {
     return false;  // Equivocation (cannot happen with honest quorum).
   }
+  // Persist before the hooks run: anything consensus derives from this
+  // certificate (commits, GC) must be re-derivable after a crash.
+  PersistCertificate(cert);
   if (request_header_if_missing && !dag_.HasHeader(cert.header_digest)) {
     RequestHeader(cert.header_digest);
   }
@@ -441,15 +709,21 @@ void Primary::RetryHeaderSync(const Digest& digest) {
     target = voters[(sync.attempts + 1) % voters.size()].first;
   }
   ++sync.attempts;
+  ++header_sync_requests_;
   network_->Send(net_id_, topology_->primary_of[target], std::make_shared<MsgCertRequest>(digest));
   TimeDelta delay = config_.sync_retry_delay << std::min(sync.attempts, 6u);
-  network_->scheduler()->ScheduleAfter(delay, [this, digest] { RetryHeaderSync(digest); });
+  network_->scheduler()->ScheduleAfter(delay, [this, alive = alive_, digest] {
+    if (*alive) {
+      RetryHeaderSync(digest);
+    }
+  });
 }
 
 void Primary::StoreHeader(std::shared_ptr<const BlockHeader> header, const Digest& digest) {
   if (dag_.HasHeader(digest)) {
     return;
   }
+  PersistHeader(*header, digest);
   dag_.AddHeader(std::move(header), digest);
   header_sync_.erase(digest);
   for (const auto& hook : on_header_stored_hooks_) {
@@ -473,6 +747,29 @@ void Primary::SetGcRound(Round gc_round) {
     if (archive_ != nullptr) {
       archive_->Put(record);
     }
+  }
+  // Advance the durable GC horizon and drop store records below it, keeping
+  // the WAL bounded by the live DAG window. The meta record goes first:
+  // recovery filters stale records against it even if the erases below
+  // never land.
+  if (store_ != nullptr && gc_round > store_gc_round_) {
+    Writer w;
+    w.PutU8('M');
+    w.PutU64(gc_round);
+    store_->Put(MetaKey(), w.Take());
+    for (const Dag::Collected& record : collected) {
+      store_->Erase(HeaderKey(record.digest));
+      store_->Erase(CertKey(record.digest));
+    }
+    for (auto it = voted_.begin(); it != voted_.end() && it->first < gc_round; ++it) {
+      for (const auto& [author, digest] : it->second) {
+        store_->Erase(VoteKey(it->first, author));
+      }
+    }
+    for (Round r = store_gc_round_; r < gc_round; ++r) {
+      store_->Erase(ProposalKey(r));
+    }
+    store_gc_round_ = gc_round;
   }
   for (auto it = own_headers_.begin(); it != own_headers_.end();) {
     if (collected_set.count(it->first) != 0) {

@@ -31,6 +31,7 @@
 #include "src/narwhal/dag.h"
 #include "src/narwhal/worker.h"
 #include "src/net/network.h"
+#include "src/store/store.h"
 #include "src/types/cert_cache.h"
 #include "src/types/committee.h"
 #include "src/types/messages.h"
@@ -41,8 +42,21 @@ class Primary : public NetNode {
  public:
   Primary(ValidatorId id, const Committee& committee, const NarwhalConfig& config,
           Network* network, const Topology* topology, Signer* signer);
+  ~Primary() override;
 
   void set_net_id(uint32_t id) { net_id_ = id; }
+
+  // Attaches the durable store (non-owning; may be null = no persistence).
+  // Headers, certificates, the vote ledger, and the own-proposal marker are
+  // write-ahead persisted to it, making Recover() possible after a crash.
+  void set_store(Store* store) { store_ = store; }
+
+  // Rebuilds round, DAG frontier, vote ledger, and the last own proposal
+  // from the attached store. Call once, after construction and before any
+  // hooks are registered or OnStart runs (recovery never fires hooks). The
+  // vote ledger restore is the double-vote guard: a recovered validator
+  // will not sign a second header or vote for a round it signed pre-crash.
+  void Recover();
 
   // Attaches the cluster's tracer (nullptr = tracing off, the default).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
@@ -92,6 +106,11 @@ class Primary : public NetNode {
 
   // --- introspection (tests, metrics) ---------------------------------------------
   uint64_t headers_proposed() const { return headers_proposed_; }
+  // Recovery metrics: records replayed from the store by Recover() and
+  // pull-sync requests issued (cumulative; the delta after a restart is the
+  // rejoin cost reported in EXPERIMENTS.md).
+  uint64_t recovered_store_records() const { return recovered_store_records_; }
+  uint64_t header_sync_requests() const { return header_sync_requests_; }
   // Test-only: lets protocol tests stage DAG states directly.
   Dag& mutable_dag() { return dag_; }
   uint64_t certs_formed() const { return certs_formed_; }
@@ -148,6 +167,12 @@ class Primary : public NetNode {
 
   void StoreHeader(std::shared_ptr<const BlockHeader> header, const Digest& digest);
 
+  // Persistence helpers (no-ops when store_ is null).
+  void PersistHeader(const BlockHeader& header, const Digest& digest);
+  void PersistCertificate(const Certificate& cert);
+  void PersistVote(Round round, ValidatorId author, const Digest& digest);
+  void PersistProposalMarker(Round round, const Digest& digest);
+
   ValidatorId id_;
   const Committee& committee_;
   NarwhalConfig config_;
@@ -196,6 +221,21 @@ class Primary : public NetNode {
   uint64_t certs_formed_ = 0;
   uint64_t votes_cast_ = 0;
   uint64_t reinjected_batches_ = 0;
+
+  // Durable store (null = ephemeral). Owned by the runtime, which keeps it
+  // alive across simulated restarts of this object.
+  Store* store_ = nullptr;
+  Round store_gc_round_ = 0;  // Horizon below which store records are erased.
+  bool recovered_ = false;
+  Digest recovered_proposal_{};
+  std::vector<Digest> recovered_missing_headers_;
+  uint64_t recovered_store_records_ = 0;
+  uint64_t header_sync_requests_ = 0;
+
+  // Liveness flag captured by every scheduled lambda: a rebuilt validator
+  // destroys its predecessor while that predecessor's timers may still be
+  // queued, and a fired timer must not touch the dead object.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace nt

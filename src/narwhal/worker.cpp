@@ -8,20 +8,38 @@ namespace nt {
 
 Worker::Worker(ValidatorId validator, WorkerId worker_id, const Committee& committee,
                const NarwhalConfig& config, Network* network, const Topology* topology,
-               std::unique_ptr<Store> store, BatchDirectory* directory)
+               Store* store, BatchDirectory* directory)
     : validator_(validator),
       worker_id_(worker_id),
       committee_(committee),
       config_(config),
       network_(network),
       topology_(topology),
-      store_(std::move(store)),
+      store_(store),
       directory_(directory) {
   pending_.author = validator_;
   pending_.worker = worker_id_;
 }
 
+Worker::~Worker() { *alive_ = false; }
+
 void Worker::OnStart() {}
+
+void Worker::Recover() {
+  store_->ForEach([this](const Digest& digest, const Bytes& value) {
+    Reader r(value);
+    std::optional<Batch> batch = Batch::Decode(r);
+    if (!batch.has_value()) {
+      return;
+    }
+    if (batch->author == validator_ && batch->worker == worker_id_) {
+      // Never reuse a pre-crash sequence number: a fresh batch with a
+      // recycled seq could collide digests with a batch peers already hold.
+      next_seq_ = std::max(next_seq_, batch->seq + 1);
+    }
+    batches_[digest] = std::make_shared<const Batch>(std::move(*batch));
+  });
+}
 
 void Worker::SubmitTransaction(uint64_t size_bytes, std::optional<TxSample> sample) {
   pending_.num_txs += 1;
@@ -30,8 +48,12 @@ void Worker::SubmitTransaction(uint64_t size_bytes, std::optional<TxSample> samp
     pending_.samples.push_back(*sample);
   }
   if (batch_timer_ == Scheduler::kInvalidTimer) {
-    batch_timer_ = network_->scheduler()->ScheduleAfter(config_.max_batch_delay,
-                                                        [this] { MaybeSealBatch(true); });
+    batch_timer_ = network_->scheduler()->ScheduleAfter(
+        config_.max_batch_delay, [this, alive = alive_] {
+          if (*alive) {
+            MaybeSealBatch(true);
+          }
+        });
   }
   MaybeSealBatch(false);
 }
@@ -123,6 +145,12 @@ void Worker::StoreBatch(const std::shared_ptr<const Batch>& batch, const Digest&
   Writer w;
   batch->Encode(w);
   store_->Put(digest, w.Take());
+  if (config_.sync_on_batch_store) {
+    // Sync-on-seal: every storage ack derived from this batch (and the
+    // availability certificate built from 2f+1 such acks) must mean "on
+    // disk", or a crash-recovery could lose a batch the DAG references.
+    store_->Sync();
+  }
   batches_[digest] = batch;
 }
 
@@ -143,8 +171,12 @@ void Worker::DisseminateBatch(const std::shared_ptr<const Batch>& batch, const D
     }
     network_->Send(net_id_, topology_->worker_of[v][worker_id_], msg);
   }
-  flight.retry_timer = network_->scheduler()->ScheduleAfter(config_.batch_retry_delay,
-                                                            [this, digest] { RetryBatch(digest); });
+  flight.retry_timer = network_->scheduler()->ScheduleAfter(
+      config_.batch_retry_delay, [this, alive = alive_, digest] {
+        if (*alive) {
+          RetryBatch(digest);
+        }
+      });
 }
 
 void Worker::RetryBatch(const Digest& digest) {
@@ -168,7 +200,11 @@ void Worker::RetryBatch(const Digest& digest) {
   flight.attempts = std::min(flight.attempts + 1, 6u);
   TimeDelta delay = config_.batch_retry_delay << flight.attempts;
   flight.retry_timer =
-      network_->scheduler()->ScheduleAfter(delay, [this, digest] { RetryBatch(digest); });
+      network_->scheduler()->ScheduleAfter(delay, [this, alive = alive_, digest] {
+        if (*alive) {
+          RetryBatch(digest);
+        }
+      });
 }
 
 bool Worker::IsOwnPrimary(uint32_t from) const {
@@ -262,10 +298,13 @@ void Worker::HandleFetch(const MsgFetchBatch& fetch) {
   // through other validators on timeout.
   network_->Send(net_id_, topology_->worker_of[fetch.batch_author][worker_id_],
                  std::make_shared<MsgBatchRequest>(fetch.digest));
-  network_->scheduler()->ScheduleAfter(config_.sync_retry_delay, [this, d = fetch.digest,
-                                                                  a = fetch.batch_author] {
-    RetryFetch(d, a, 1);
-  });
+  network_->scheduler()->ScheduleAfter(config_.sync_retry_delay,
+                                       [this, alive = alive_, d = fetch.digest,
+                                        a = fetch.batch_author] {
+                                         if (*alive) {
+                                           RetryFetch(d, a, 1);
+                                         }
+                                       });
 }
 
 void Worker::RetryFetch(const Digest& digest, ValidatorId author, uint32_t attempt) {
@@ -282,7 +321,11 @@ void Worker::RetryFetch(const Digest& digest, ValidatorId author, uint32_t attem
                  std::make_shared<MsgBatchRequest>(digest));
   TimeDelta delay = config_.sync_retry_delay << std::min(attempt, 6u);
   network_->scheduler()->ScheduleAfter(
-      delay, [this, digest, author, attempt] { RetryFetch(digest, author, attempt + 1); });
+      delay, [this, alive = alive_, digest, author, attempt] {
+        if (*alive) {
+          RetryFetch(digest, author, attempt + 1);
+        }
+      });
 }
 
 }  // namespace nt

@@ -71,12 +71,21 @@ class BatchDirectory {
 
 class Worker : public NetNode {
  public:
+  // `store` is non-owning: the runtime owns it and keeps it alive across
+  // simulated restarts of this worker (it is the durable disk).
   Worker(ValidatorId validator, WorkerId worker_id, const Committee& committee,
          const NarwhalConfig& config, Network* network, const Topology* topology,
-         std::unique_ptr<Store> store, BatchDirectory* directory);
+         Store* store, BatchDirectory* directory);
+  ~Worker() override;
 
   // Registers this worker's own net id once known.
   void set_net_id(uint32_t id) { net_id_ = id; }
+
+  // Reloads sealed batches from the durable store after a crash: the
+  // serving map is repopulated and the batch sequence counter resumes past
+  // the highest persisted own batch (fresh batches must never reuse a
+  // pre-crash digest). Call before OnStart.
+  void Recover();
 
   // Attaches the cluster's tracer (nullptr = tracing off, the default).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
@@ -122,7 +131,7 @@ class Worker : public NetNode {
   NarwhalConfig config_;
   Network* network_;
   const Topology* topology_;
-  std::unique_ptr<Store> store_;
+  Store* store_;
   BatchDirectory* directory_;
   uint32_t net_id_ = 0;
   Tracer* tracer_ = nullptr;
@@ -154,6 +163,9 @@ class Worker : public NetNode {
   uint64_t batches_sealed_ = 0;
   uint64_t batches_acked_ = 0;
   uint64_t duplicate_txs_dropped_ = 0;
+
+  // Liveness flag captured by scheduled lambdas; see Primary::alive_.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace nt

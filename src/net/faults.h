@@ -17,12 +17,25 @@ class FaultController {
  public:
   // --- crash faults ---------------------------------------------------------
 
-  // Node stops sending and receiving from `when` on (never recovers).
+  // Node stops sending and receiving from `when` on. Permanent unless a
+  // later RecoverAt bounds the outage.
   void CrashAt(uint32_t node, TimePoint when) { crash_times_[node] = when; }
+
+  // Bounds a previously scheduled crash: the node is down during
+  // [crash, recover) and participates again from `recover` on. The runtime
+  // pairs this with tearing down and rebuilding the node's protocol objects
+  // from their stores at the recovery instant (Cluster::RestartValidator) —
+  // the FaultController only gates message flow. One crash window per node:
+  // a second CrashAt/RecoverAt pair overwrites the first.
+  void RecoverAt(uint32_t node, TimePoint when) { recover_times_[node] = when; }
 
   bool IsCrashed(uint32_t node, TimePoint now) const {
     auto it = crash_times_.find(node);
-    return it != crash_times_.end() && now >= it->second;
+    if (it == crash_times_.end() || now < it->second) {
+      return false;
+    }
+    auto rec = recover_times_.find(node);
+    return rec == recover_times_.end() || now < rec->second;
   }
 
   // --- partitions -----------------------------------------------------------
@@ -101,6 +114,7 @@ class FaultController {
   // Ordered: fault state is part of the deterministic-replay surface, and an
   // ordered map keeps any iteration over it independent of hash seeding.
   std::map<uint32_t, TimePoint> crash_times_;
+  std::map<uint32_t, TimePoint> recover_times_;
   std::map<uint32_t, TimePoint> equivocators_;
   std::map<uint32_t, std::vector<Window>> isolations_;
   std::vector<AsyncWindow> async_windows_;

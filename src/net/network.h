@@ -73,6 +73,13 @@ class Network {
   // Registers a node. Returns its global node id.
   uint32_t AddNode(NetNode* node, uint32_t region, uint32_t machine);
 
+  // Swaps the object behind an existing node id (validator restart: the old
+  // protocol object is destroyed and a recovered one takes its place).
+  // In-flight deliveries resolve the node pointer at fire time, so they
+  // reach the replacement; region/machine/queues/FIFO clamps are unchanged
+  // — the machine, not the process, owns the NIC.
+  void ReplaceNode(uint32_t id, NetNode* node) { nodes_[id].node = node; }
+
   // Invokes OnStart on every node (at the current simulated time).
   void Start();
 

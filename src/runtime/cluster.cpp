@@ -1,5 +1,7 @@
 #include "src/runtime/cluster.h"
 
+#include <stdexcept>
+
 #include "src/common/logging.h"
 
 namespace nt {
@@ -55,9 +57,12 @@ Cluster::Cluster(const ClusterConfig& config)
   }
   switch (config_.system) {
     case SystemKind::kTusk:
+      consensus_stores_.resize(config_.num_validators);
       for (uint32_t v = 0; v < config_.num_validators; ++v) {
+        consensus_stores_[v] = MakeStore("consensus_" + std::to_string(v) + ".wal");
         tusks_.push_back(std::make_unique<Tusk>(primaries_[v].get(), committee_, &coin_,
                                                 config_.narwhal.gc_depth));
+        tusks_.back()->set_store(consensus_stores_[v].get());
       }
       WireTuskMetrics();
       break;
@@ -133,12 +138,12 @@ void Cluster::RegisterTraceGauges() {
                        return util;
                      });
     if (!primaries_.empty()) {
-      Primary* primary = primaries_[v].get();
-      t->RegisterGauge(tag + "/dag_round", v + 1, [primary](TimePoint) {
-        return static_cast<double>(primary->round());
+      // Resolve the primary at sample time: a restart replaces the object.
+      t->RegisterGauge(tag + "/dag_round", v + 1, [this, v](TimePoint) {
+        return static_cast<double>(primaries_[v]->round());
       });
-      t->RegisterGauge(tag + "/dag_certs", v + 1, [primary](TimePoint) {
-        return static_cast<double>(primary->dag().TotalCertificates());
+      t->RegisterGauge(tag + "/dag_certs", v + 1, [this, v](TimePoint) {
+        return static_cast<double>(primaries_[v]->dag().TotalCertificates());
       });
     }
   }
@@ -170,6 +175,24 @@ bool Cluster::IsValidatorCrashed(ValidatorId v) const {
 
 Cluster::~Cluster() = default;
 
+std::unique_ptr<Store> Cluster::MakeStore(const std::string& name) {
+  if (config_.persist_dir.empty()) {
+    // In-memory, but still cluster-owned and long-lived: for simulated
+    // restarts the MemStore *is* the durable disk.
+    return std::make_unique<MemStore>();
+  }
+  std::string path = config_.persist_dir + "/" + name;
+  std::unique_ptr<Store> store = WalStore::Open(path);
+  if (store == nullptr) {
+    // Fail loudly. Silently substituting an in-memory store here would turn
+    // "durable" into "ephemeral" behind the operator's back — a crash later
+    // in the run would then lose state the configuration promised to keep.
+    LOG_ERROR() << "cannot open WAL store at " << path;
+    throw std::runtime_error("WalStore::Open failed: " + path);
+  }
+  return store;
+}
+
 void Cluster::BuildNarwhal() {
   const uint32_t n = config_.num_validators;
   const uint32_t w = config_.workers_per_validator;
@@ -177,13 +200,17 @@ void Cluster::BuildNarwhal() {
   topology_.worker_of.assign(n, std::vector<uint32_t>(w));
   primaries_.resize(n);
   workers_.resize(n);
+  primary_stores_.resize(n);
+  worker_stores_.resize(n);
 
   for (ValidatorId v = 0; v < n; ++v) {
     uint32_t region = committee_.validator(v).region;
     uint32_t primary_machine = network_->NewMachine();
 
+    primary_stores_[v] = MakeStore("primary_" + std::to_string(v) + ".wal");
     primaries_[v] = std::make_unique<Primary>(v, committee_, config_.narwhal, network_.get(),
                                               &topology_, signers_[v].get());
+    primaries_[v]->set_store(primary_stores_[v].get());
     metrics_.RegisterCertCache(&primaries_[v]->cert_cache());
     uint32_t primary_id = network_->AddNode(primaries_[v].get(), region, primary_machine);
     primaries_[v]->set_net_id(primary_id);
@@ -191,19 +218,14 @@ void Cluster::BuildNarwhal() {
     topology_.role_of[primary_id] = {Topology::NodeRole::Kind::kPrimary, v, 0};
 
     workers_[v].resize(w);
+    worker_stores_[v].resize(w);
     for (WorkerId wi = 0; wi < w; ++wi) {
       uint32_t machine = config_.collocate ? primary_machine : network_->NewMachine();
-      std::unique_ptr<Store> store;
-      if (!config_.persist_dir.empty()) {
-        store = WalStore::Open(config_.persist_dir + "/worker_" + std::to_string(v) + "_" +
-                               std::to_string(wi) + ".wal");
-      }
-      if (store == nullptr) {
-        store = std::make_unique<MemStore>();
-      }
+      worker_stores_[v][wi] =
+          MakeStore("worker_" + std::to_string(v) + "_" + std::to_string(wi) + ".wal");
       workers_[v][wi] =
           std::make_unique<Worker>(v, wi, committee_, config_.narwhal, network_.get(), &topology_,
-                                   std::move(store), &directory_);
+                                   worker_stores_[v][wi].get(), &directory_);
       uint32_t worker_id = network_->AddNode(workers_[v][wi].get(), region, machine);
       workers_[v][wi]->set_net_id(worker_id);
       topology_.worker_of[v][wi] = worker_id;
@@ -220,6 +242,9 @@ void Cluster::BuildHotStuff() {
   consensus_net_ids_.resize(n);
   providers_.resize(n);
   hs_nodes_.resize(n);
+  if (config_.system == SystemKind::kNarwhalHs) {
+    consensus_stores_.resize(n);
+  }
 
   // First pass: create nodes and net ids (consensus node shares the
   // primary's machine for Narwhal-HS; otherwise it is the validator's only
@@ -244,16 +269,23 @@ void Cluster::BuildHotStuff() {
             v, committee_, config_.narwhal.batch_size_bytes, config_.narwhal.max_batch_delay,
             config_.max_digests_per_block, &directory_);
         break;
-      case SystemKind::kNarwhalHs:
-        providers_[v] = std::make_unique<NarwhalProvider>(v, committee_, primaries_[v].get(),
+      case SystemKind::kNarwhalHs: {
+        consensus_stores_[v] = MakeStore("consensus_" + std::to_string(v) + ".wal");
+        auto provider = std::make_unique<NarwhalProvider>(v, committee_, primaries_[v].get(),
                                                           &directory_, config_.narwhal.gc_depth);
+        provider->set_store(consensus_stores_[v].get());
+        providers_[v] = std::move(provider);
         break;
+      }
       default:
         break;
     }
 
     hs_nodes_[v] = std::make_unique<HotStuff>(v, committee_, config_.hotstuff, network_.get(),
                                               signers_[v].get(), providers_[v].get());
+    if (config_.system == SystemKind::kNarwhalHs) {
+      hs_nodes_[v]->set_store(consensus_stores_[v].get());
+    }
     metrics_.RegisterCertCache(&hs_nodes_[v]->cert_cache());
     uint32_t net_id = network_->AddNode(hs_nodes_[v].get(), region, machine);
     hs_nodes_[v]->set_net_id(net_id);
@@ -263,41 +295,49 @@ void Cluster::BuildHotStuff() {
 
   // Second pass: wire peers, providers, and metrics sinks.
   for (ValidatorId v = 0; v < n; ++v) {
-    hs_nodes_[v]->set_peers(consensus_net_ids_);
-    std::vector<uint32_t> peer_ids;
-    for (ValidatorId u = 0; u < n; ++u) {
-      if (u != v) {
-        peer_ids.push_back(consensus_net_ids_[u]);
-      }
-    }
-    providers_[v]->BindNetwork(network_.get(), consensus_net_ids_[v], std::move(peer_ids));
-    providers_[v]->set_commit_sink(
-        [this, v](ValidatorId owner, uint64_t num, uint64_t bytes,
-                  const std::vector<TxSample>& samples) {
-          metrics_.OnCommit(v, owner, num, bytes, samples);
-        });
+    WireHotStuffValidator(v);
   }
 }
 
-void Cluster::WireTuskMetrics() {
-  // Convert per-header commits into per-batch metrics via the directory.
-  for (ValidatorId v = 0; v < config_.num_validators; ++v) {
-    auto sink = [this, v](const std::shared_ptr<const BlockHeader>& header) {
-      for (const BatchRef& ref : header->batches) {
-        const BatchDirectory::Info* info = directory_.Find(ref.digest);
-        ValidatorId owner = info != nullptr ? info->author : header->author;
-        static const std::vector<TxSample> kNoSamples;
-        metrics_.OnCommit(v, owner, ref.num_txs, ref.payload_bytes,
-                          info != nullptr ? info->samples : kNoSamples);
-      }
-    };
-    if (!tusks_.empty()) {
-      tusks_[v]->add_on_commit(
-          [sink](const Tusk::Committed& committed) { sink(committed.header); });
-    } else {
-      riders_[v]->add_on_commit(
-          [sink](const DagRider::Committed& committed) { sink(committed.header); });
+void Cluster::WireHotStuffValidator(ValidatorId v) {
+  hs_nodes_[v]->set_peers(consensus_net_ids_);
+  std::vector<uint32_t> peer_ids;
+  for (ValidatorId u = 0; u < config_.num_validators; ++u) {
+    if (u != v) {
+      peer_ids.push_back(consensus_net_ids_[u]);
     }
+  }
+  providers_[v]->BindNetwork(network_.get(), consensus_net_ids_[v], std::move(peer_ids));
+  providers_[v]->set_commit_sink(
+      [this, v](ValidatorId owner, uint64_t num, uint64_t bytes,
+                const std::vector<TxSample>& samples) {
+        metrics_.OnCommit(v, owner, num, bytes, samples);
+      });
+}
+
+void Cluster::WireTuskMetrics() {
+  for (ValidatorId v = 0; v < config_.num_validators; ++v) {
+    WireTuskMetricsFor(v);
+  }
+}
+
+void Cluster::WireTuskMetricsFor(ValidatorId v) {
+  // Convert per-header commits into per-batch metrics via the directory.
+  auto sink = [this, v](const std::shared_ptr<const BlockHeader>& header) {
+    for (const BatchRef& ref : header->batches) {
+      const BatchDirectory::Info* info = directory_.Find(ref.digest);
+      ValidatorId owner = info != nullptr ? info->author : header->author;
+      static const std::vector<TxSample> kNoSamples;
+      metrics_.OnCommit(v, owner, ref.num_txs, ref.payload_bytes,
+                        info != nullptr ? info->samples : kNoSamples);
+    }
+  };
+  if (!tusks_.empty()) {
+    tusks_[v]->add_on_commit(
+        [sink](const Tusk::Committed& committed) { sink(committed.header); });
+  } else {
+    riders_[v]->add_on_commit(
+        [sink](const DagRider::Committed& committed) { sink(committed.header); });
   }
 }
 
@@ -341,6 +381,136 @@ void Cluster::CrashValidator(ValidatorId v, TimePoint when) {
   }
   if (!consensus_net_ids_.empty()) {
     faults_.CrashAt(consensus_net_ids_[v], when);
+  }
+}
+
+void Cluster::RestartValidator(ValidatorId v, TimePoint crash_at, TimePoint recover_at) {
+  CrashValidator(v, crash_at);
+  if (!SupportsRestart()) {
+    LOG_ERROR() << "restart unsupported for " << SystemName(config_.system) << "; validator "
+                << v << " stays down";
+    return;
+  }
+  if (!topology_.primary_of.empty()) {
+    faults_.RecoverAt(topology_.primary_of[v], recover_at);
+    for (uint32_t id : topology_.worker_of[v]) {
+      faults_.RecoverAt(id, recover_at);
+    }
+  }
+  if (!consensus_net_ids_.empty()) {
+    faults_.RecoverAt(consensus_net_ids_[v], recover_at);
+  }
+  scheduler_.ScheduleAt(recover_at, [this, v] { RebuildValidator(v); });
+}
+
+void Cluster::RebuildValidator(ValidatorId v) {
+  const uint32_t w = config_.workers_per_validator;
+
+  // Fold the dying objects' cert-cache activity into the run totals before
+  // their pointers go away.
+  metrics_.UnregisterCertCache(&primaries_[v]->cert_cache());
+  if (!hs_nodes_.empty()) {
+    metrics_.UnregisterCertCache(&hs_nodes_[v]->cert_cache());
+  }
+
+  // Tear down top-down: the consensus layer references the primary. The
+  // destructors flip each object's alive flag, so timers the dead objects
+  // left in the scheduler fire as no-ops.
+  if (!tusks_.empty()) {
+    tusks_[v].reset();
+  }
+  if (!hs_nodes_.empty()) {
+    hs_nodes_[v].reset();
+  }
+  if (!providers_.empty()) {
+    providers_[v].reset();
+  }
+  for (WorkerId wi = 0; wi < w; ++wi) {
+    workers_[v][wi].reset();
+  }
+  primaries_[v].reset();
+
+  // Reconstruct bottom-up from the durable stores. Net ids and machines are
+  // reused — the replacement is in-place as far as the network is concerned.
+  primaries_[v] = std::make_unique<Primary>(v, committee_, config_.narwhal, network_.get(),
+                                            &topology_, signers_[v].get());
+  primaries_[v]->set_net_id(topology_.primary_of[v]);
+  primaries_[v]->set_store(primary_stores_[v].get());
+  primaries_[v]->Recover();
+  metrics_.RegisterCertCache(&primaries_[v]->cert_cache());
+  network_->ReplaceNode(topology_.primary_of[v], primaries_[v].get());
+
+  for (WorkerId wi = 0; wi < w; ++wi) {
+    workers_[v][wi] =
+        std::make_unique<Worker>(v, wi, committee_, config_.narwhal, network_.get(), &topology_,
+                                 worker_stores_[v][wi].get(), &directory_);
+    workers_[v][wi]->set_net_id(topology_.worker_of[v][wi]);
+    workers_[v][wi]->Recover();
+    network_->ReplaceNode(topology_.worker_of[v][wi], workers_[v][wi].get());
+  }
+
+  if (config_.system == SystemKind::kTusk) {
+    tusks_[v] = std::make_unique<Tusk>(primaries_[v].get(), committee_, &coin_,
+                                       config_.narwhal.gc_depth);
+    tusks_[v]->set_store(consensus_stores_[v].get());
+    tusks_[v]->Recover();
+    WireTuskMetricsFor(v);
+  } else {  // kNarwhalHs (the only other SupportsRestart() system).
+    auto provider = std::make_unique<NarwhalProvider>(v, committee_, primaries_[v].get(),
+                                                      &directory_, config_.narwhal.gc_depth);
+    provider->set_store(consensus_stores_[v].get());
+    NarwhalProvider* np = provider.get();
+    providers_[v] = std::move(provider);
+    hs_nodes_[v] = std::make_unique<HotStuff>(v, committee_, config_.hotstuff, network_.get(),
+                                              signers_[v].get(), providers_[v].get());
+    hs_nodes_[v]->set_net_id(consensus_net_ids_[v]);
+    hs_nodes_[v]->set_store(consensus_stores_[v].get());
+    metrics_.RegisterCertCache(&hs_nodes_[v]->cert_cache());
+    WireHotStuffValidator(v);
+    np->Recover();
+    hs_nodes_[v]->Recover();
+    network_->ReplaceNode(consensus_net_ids_[v], hs_nodes_[v].get());
+  }
+
+  // Tracing re-attaches only after recovery, so replayed records do not get
+  // re-stamped as fresh protocol events.
+  if (tracer_ != nullptr) {
+    primaries_[v]->set_tracer(tracer_.get());
+    for (WorkerId wi = 0; wi < w; ++wi) {
+      workers_[v][wi]->set_tracer(tracer_.get());
+    }
+    if (!tusks_.empty()) {
+      tusks_[v]->set_tracer(tracer_.get());
+    }
+    if (!hs_nodes_.empty()) {
+      hs_nodes_[v]->set_tracer(tracer_.get());
+    }
+  }
+
+  RecoveryStats stats;
+  stats.validator = v;
+  stats.recovered_at = scheduler_.now();
+  stats.records_replayed = primaries_[v]->recovered_store_records();
+  stats.resume_round = primaries_[v]->round();
+  recovery_stats_.push_back(stats);
+
+  // Observers re-register their per-node hooks before anything runs.
+  if (on_validator_rebuilt_) {
+    on_validator_rebuilt_(v);
+  }
+
+  // Rejoin: the primary resumes at its recovered round (requesting any
+  // missing headers), workers restart empty-pipelined, and consensus
+  // re-evaluates its commit rule over the recovered state.
+  primaries_[v]->OnStart();
+  for (WorkerId wi = 0; wi < w; ++wi) {
+    workers_[v][wi]->OnStart();
+  }
+  if (!tusks_.empty()) {
+    tusks_[v]->Resume();
+  }
+  if (!hs_nodes_.empty()) {
+    hs_nodes_[v]->OnStart();
   }
 }
 

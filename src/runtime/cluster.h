@@ -5,7 +5,9 @@
 #ifndef SRC_RUNTIME_CLUSTER_H_
 #define SRC_RUNTIME_CLUSTER_H_
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/crypto/coin.h"
@@ -97,6 +99,35 @@ class Cluster {
   // Isolates every node of validator `v` during [start, end).
   void IsolateValidator(ValidatorId v, TimePoint start, TimePoint end);
 
+  // Crash–restart: takes validator `v` down during [crash_at, recover_at),
+  // then tears down its Primary/Worker/consensus objects and reconstructs
+  // them from the validator's durable stores (which the cluster owns and
+  // keeps alive across the rebuild — they are the simulated disk). The
+  // recovered validator pulls the DAG suffix it missed through the existing
+  // header synchronizer. Only supported for SupportsRestart() systems;
+  // otherwise logs an error and degrades to a permanent crash.
+  void RestartValidator(ValidatorId v, TimePoint crash_at, TimePoint recover_at);
+  bool SupportsRestart() const {
+    return config_.system == SystemKind::kTusk || config_.system == SystemKind::kNarwhalHs;
+  }
+
+  // Fired after a validator's objects were rebuilt and recovered but before
+  // their OnStart runs — the window where observers (DST checker, tests)
+  // re-register per-node hooks that died with the old objects.
+  void set_on_validator_rebuilt(std::function<void(ValidatorId)> hook) {
+    on_validator_rebuilt_ = std::move(hook);
+  }
+
+  // One entry per completed rebuild, in recovery order (EXPERIMENTS.md's
+  // recovery-metrics table reads these).
+  struct RecoveryStats {
+    ValidatorId validator = 0;
+    TimePoint recovered_at = 0;
+    uint64_t records_replayed = 0;  // Store records read back by Recover().
+    Round resume_round = 0;         // DAG round re-derived from the store.
+  };
+  const std::vector<RecoveryStats>& recovery_stats() const { return recovery_stats_; }
+
   const ClusterConfig& config() const { return config_; }
   Scheduler& scheduler() { return scheduler_; }
   Network& network() { return *network_; }
@@ -135,12 +166,34 @@ class Cluster {
 
   const Topology& topology() const { return topology_; }
 
+  // The durable stores backing validator `v` (cluster-owned; never null for
+  // Narwhal-based systems). Tests inspect them to assert persistence.
+  Store* primary_store(ValidatorId v) {
+    return primary_stores_.empty() ? nullptr : primary_stores_[v].get();
+  }
+  Store* consensus_store(ValidatorId v) {
+    return consensus_stores_.empty() ? nullptr : consensus_stores_[v].get();
+  }
+  Store* worker_store(ValidatorId v, WorkerId w) {
+    return worker_stores_.empty() ? nullptr : worker_stores_[v][w].get();
+  }
+
  private:
   void BuildNarwhal();
   void BuildHotStuff();
   void WireTuskMetrics();
+  void WireTuskMetricsFor(ValidatorId v);
+  void WireHotStuffValidator(ValidatorId v);
   void AttachTracer();
   void RegisterTraceGauges();
+  // Opens the durable store `name` under config.persist_dir (failing loudly
+  // on a corrupt/unopenable WAL), or an in-memory store when persist_dir is
+  // empty — either way the cluster owns it for the lifetime of the run, so
+  // it survives validator rebuilds.
+  std::unique_ptr<Store> MakeStore(const std::string& name);
+  // Tears down and reconstructs validator `v` from its stores (the recovery
+  // half of RestartValidator; runs at the scheduled recovery time).
+  void RebuildValidator(ValidatorId v);
 
   ClusterConfig config_;
   Scheduler scheduler_;
@@ -158,6 +211,12 @@ class Cluster {
   uint64_t next_tx_id_ = 0;
 
   std::vector<std::unique_ptr<Signer>> signers_;
+  // Durable stores, declared before the node containers: nodes hold raw
+  // Store pointers, so the stores must be destroyed after them. They also
+  // outlive individual node objects across RestartValidator rebuilds.
+  std::vector<std::unique_ptr<Store>> primary_stores_;
+  std::vector<std::vector<std::unique_ptr<Store>>> worker_stores_;
+  std::vector<std::unique_ptr<Store>> consensus_stores_;
   std::vector<std::unique_ptr<Primary>> primaries_;
   std::vector<std::vector<std::unique_ptr<Worker>>> workers_;
   std::vector<std::unique_ptr<Tusk>> tusks_;
@@ -166,6 +225,9 @@ class Cluster {
   std::vector<std::unique_ptr<HotStuff>> hs_nodes_;
   std::unique_ptr<SharedTxPool> shared_pool_;
   std::vector<uint32_t> consensus_net_ids_;
+
+  std::function<void(ValidatorId)> on_validator_rebuilt_;
+  std::vector<RecoveryStats> recovery_stats_;
 };
 
 }  // namespace nt

@@ -15,8 +15,20 @@ void Metrics::RegisterCertCache(const VerifiedCertCache* cache) {
   cert_caches_.push_back({cache, cache->stats()});
 }
 
+void Metrics::UnregisterCertCache(const VerifiedCertCache* cache) {
+  for (auto it = cert_caches_.begin(); it != cert_caches_.end(); ++it) {
+    if (it->cache == cache) {
+      retired_cache_hits_ += ClampedDelta(cache->stats().hits, it->baseline.hits);
+      retired_cache_misses_ += ClampedDelta(cache->stats().misses, it->baseline.misses);
+      cert_caches_.erase(it);
+      return;
+    }
+  }
+}
+
 uint64_t Metrics::cert_cache_hits() const {
-  uint64_t hits = ClampedDelta(VerifiedCertCache::Combined().hits, cert_cache_baseline_.hits);
+  uint64_t hits = retired_cache_hits_ +
+                  ClampedDelta(VerifiedCertCache::Combined().hits, cert_cache_baseline_.hits);
   for (const RegisteredCache& rc : cert_caches_) {
     hits += ClampedDelta(rc.cache->stats().hits, rc.baseline.hits);
   }
@@ -25,6 +37,7 @@ uint64_t Metrics::cert_cache_hits() const {
 
 uint64_t Metrics::cert_cache_misses() const {
   uint64_t misses =
+      retired_cache_misses_ +
       ClampedDelta(VerifiedCertCache::Combined().misses, cert_cache_baseline_.misses);
   for (const RegisteredCache& rc : cert_caches_) {
     misses += ClampedDelta(rc.cache->stats().misses, rc.baseline.misses);

@@ -72,6 +72,11 @@ class Metrics {
   // node containers, so nodes are destroyed first).
   void RegisterCertCache(const VerifiedCertCache* cache);
 
+  // Detaches a cache about to be destroyed (a validator being rebuilt after
+  // a simulated restart): its activity so far is folded into a retired total
+  // so the run's numbers stay monotone while the pointer goes away.
+  void UnregisterCertCache(const VerifiedCertCache* cache);
+
   // Verified-certificate cache activity attributed to this run: the sum over
   // registered per-validator caches, plus the process-wide default caches'
   // movement since this Metrics instance was created (tools and tests that
@@ -94,6 +99,9 @@ class Metrics {
   Scheduler* scheduler_;
   VerifiedCertCache::Stats cert_cache_baseline_;
   std::vector<RegisteredCache> cert_caches_;
+  // Activity of caches unregistered mid-run (validators rebuilt on restart).
+  uint64_t retired_cache_hits_ = 0;
+  uint64_t retired_cache_misses_ = 0;
   ValidatorId observer_ = 0;
   TimePoint window_start_ = 0;
   TimePoint window_end_ = kNever;

@@ -2,6 +2,12 @@
 
 #include <cstring>
 
+// WalStore is the real-disk durability surface; the fsync/truncate syscalls
+// below are what the simulated Store contract is modeling. Protocol code
+// never touches file IO directly — it goes through the Store interface.
+// ntlint:allow(nondet): raw file IO is the WAL durability layer itself
+#include <unistd.h>
+
 #include "src/common/codec.h"
 
 namespace nt {
@@ -54,21 +60,40 @@ bool MemStore::Contains(const Digest& key) const { return map_.count(key) != 0; 
 
 bool MemStore::Erase(const Digest& key) { return map_.erase(key) != 0; }
 
+void MemStore::ForEach(const std::function<void(const Digest&, const Bytes&)>& fn) const {
+  for (const auto& [key, value] : map_) {
+    fn(key, value);
+  }
+}
+
 // ------------------------------------------------------------------ WalStore
 
 std::unique_ptr<WalStore> WalStore::Open(const std::string& path) {
-  // Replay phase: read existing records.
-  std::unique_ptr<WalStore> store;
+  // Make sure the file exists before the replay pass (first open of a fresh
+  // log), without holding an append handle yet — the tail may need to be
+  // truncated first.
   {
-    std::FILE* f = std::fopen(path.c_str(), "ab+");
-    if (f == nullptr) {
+    std::FILE* create = std::fopen(path.c_str(), "ab");
+    if (create == nullptr) {
       return nullptr;
     }
-    store = std::unique_ptr<WalStore>(new WalStore(f, path));
+    std::fclose(create);
   }
 
-  std::FILE* rf = std::fopen(path.c_str(), "rb");
-  if (rf != nullptr) {
+  // Replay phase: read records up to the first torn or corrupt one,
+  // remembering the byte offset of the last good record boundary.
+  MemStore mem;
+  size_t recovered = 0;
+  long good_end = 0;
+  long file_end = 0;
+  {
+    std::FILE* rf = std::fopen(path.c_str(), "rb");
+    if (rf == nullptr) {
+      return nullptr;
+    }
+    std::fseek(rf, 0, SEEK_END);
+    file_end = std::ftell(rf);
+    std::fseek(rf, 0, SEEK_SET);
     for (;;) {
       uint8_t head[4 + 1 + 32 + 4];
       if (std::fread(head, 1, sizeof(head), rf) != sizeof(head)) {
@@ -101,16 +126,39 @@ std::unique_ptr<WalStore> WalStore::Open(const std::string& path) {
       }
 
       if (op == kOpPut) {
-        store->mem_.Put(key, std::move(value));
+        mem.Put(key, std::move(value));
       } else if (op == kOpErase) {
-        store->mem_.Erase(key);
+        mem.Erase(key);
       } else {
         break;
       }
-      ++store->recovered_records_;
+      ++recovered;
+      good_end = std::ftell(rf);
     }
     std::fclose(rf);
   }
+
+  // Truncate a torn/corrupt tail back to the last good record boundary
+  // BEFORE reopening for append. Appending after the garbage would make
+  // every subsequent record unreachable on the next recovery (replay stops
+  // at the garbage), silently losing acknowledged data.
+  size_t truncated = 0;
+  if (good_end < file_end) {
+    // ntlint:allow(nondet): truncate(2) is the WAL torn-tail repair
+    if (::truncate(path.c_str(), good_end) != 0) {
+      return nullptr;
+    }
+    truncated = static_cast<size_t>(file_end - good_end);
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return nullptr;
+  }
+  auto store = std::unique_ptr<WalStore>(new WalStore(f, path));
+  store->mem_ = std::move(mem);
+  store->recovered_records_ = recovered;
+  store->truncated_bytes_ = truncated;
   return store;
 }
 
@@ -149,6 +197,19 @@ bool WalStore::Erase(const Digest& key) {
   return mem_.Erase(key);
 }
 
-void WalStore::Sync() { std::fflush(file_); }
+void WalStore::ForEach(const std::function<void(const Digest&, const Bytes&)>& fn) const {
+  mem_.ForEach(fn);
+}
+
+void WalStore::Sync() {
+  std::fflush(file_);
+  // A real durability barrier: fflush only moves data into the OS page
+  // cache, which a process crash still loses from the application's point
+  // of view once the ack is out. The paper's artifact relies on RocksDB's
+  // WAL fsync for the same reason.
+  // ntlint:allow(nondet): fsync/fileno are the WAL durability barrier
+  ::fsync(::fileno(file_));
+  ++sync_count_;
+}
 
 }  // namespace nt

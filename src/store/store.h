@@ -6,10 +6,19 @@
 //  - WalStore: in-memory index backed by an append-only write-ahead log on
 //    disk with CRC-protected records and recovery, for durability tests and
 //    the storage micro-benchmarks.
+//
+// Both model the durable disk a validator recovers from after a crash:
+// the runtime keeps Store objects alive across a simulated process restart
+// and the protocol objects rebuild their state from them (Recover paths in
+// Primary/Tusk/HotStuff). Sync() is the durability barrier — for WalStore
+// it is a real fsync, for MemStore a counted no-op — and sync_count()
+// lets tests assert the sync-on-seal policy (a worker's batch ack implies
+// the batch is on disk).
 #ifndef SRC_STORE_STORE_H_
 #define SRC_STORE_STORE_H_
 
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -37,6 +46,20 @@ class Store {
   virtual bool Erase(const Digest& key) = 0;
 
   virtual size_t size() const = 0;
+
+  // Visits every live record in key order (deterministic: both stores index
+  // with an ordered map). Recovery scans are built on this.
+  virtual void ForEach(const std::function<void(const Digest&, const Bytes&)>& fn) const = 0;
+
+  // Durability barrier: after Sync() returns, every preceding Put/Erase
+  // survives a process crash. MemStore only counts the call (simulated disk
+  // is process memory); WalStore does a real fsync.
+  virtual void Sync() { ++sync_count_; }
+
+  uint64_t sync_count() const { return sync_count_; }
+
+ protected:
+  uint64_t sync_count_ = 0;
 };
 
 class MemStore : public Store {
@@ -46,6 +69,7 @@ class MemStore : public Store {
   bool Contains(const Digest& key) const override;
   bool Erase(const Digest& key) override;
   size_t size() const override { return map_.size(); }
+  void ForEach(const std::function<void(const Digest&, const Bytes&)>& fn) const override;
 
  private:
   // Ordered so that any future iteration (dumps, state sync, WAL compaction)
@@ -55,11 +79,15 @@ class MemStore : public Store {
 
 // Append-only WAL-backed store. Every mutation is written as a
 // length-prefixed, CRC32-protected record before being applied to the
-// in-memory index. Open() replays the log, ignoring a torn tail.
+// in-memory index. Open() replays the log, truncating a torn or corrupt
+// tail back to the last good record boundary before reopening for append
+// (appending after garbage would silently orphan every later record on the
+// *next* recovery).
 class WalStore : public Store {
  public:
   // Opens (creating if needed) the log at `path` and replays it.
-  // Returns nullptr if the file cannot be opened for appending.
+  // Returns nullptr if the file cannot be opened for appending or a
+  // corrupt tail cannot be truncated away.
   static std::unique_ptr<WalStore> Open(const std::string& path);
 
   ~WalStore() override;
@@ -69,12 +97,17 @@ class WalStore : public Store {
   bool Contains(const Digest& key) const override;
   bool Erase(const Digest& key) override;
   size_t size() const override { return mem_.size(); }
+  void ForEach(const std::function<void(const Digest&, const Bytes&)>& fn) const override;
 
-  // Flushes buffered records to the OS.
-  void Sync();
+  // Flushes buffered records and fsyncs the file: a real durability
+  // barrier, not just a libc-buffer flush.
+  void Sync() override;
 
   // Number of records replayed by Open() (for recovery tests).
   size_t recovered_records() const { return recovered_records_; }
+
+  // Bytes of torn/corrupt tail Open() truncated away (0 for a clean log).
+  size_t truncated_bytes() const { return truncated_bytes_; }
 
  private:
   WalStore(std::FILE* file, const std::string& path) : file_(file), path_(path) {}
@@ -85,6 +118,7 @@ class WalStore : public Store {
   std::string path_;
   MemStore mem_;
   size_t recovered_records_ = 0;
+  size_t truncated_bytes_ = 0;
 };
 
 // CRC32 (IEEE 802.3 polynomial, bit-reflected) over a byte buffer; used by

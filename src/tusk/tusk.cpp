@@ -1,7 +1,9 @@
 #include "src/tusk/tusk.h"
 
 #include <algorithm>
+#include <string_view>
 
+#include "src/common/codec.h"
 #include "src/common/logging.h"
 #include "src/common/seeded_bugs.h"
 
@@ -17,6 +19,85 @@ Tusk::Tusk(Primary* primary, const Committee& committee, const ThresholdCoin* co
 void Tusk::OnCertificate(const Certificate&) { TryCommit(); }
 
 void Tusk::OnHeaderStored(const Digest&) { TryCommit(); }
+
+// ---------------------------------------------------------------- persistence
+
+namespace {
+// Consensus-store records: 'T' commit entries (one per delivered header),
+// 'U' meta (wave cursor). The store is shared with other consensus
+// interpreters, so tags stay globally unique.
+Digest TuskCommitKey(const Digest& digest) {
+  Writer w;
+  w.PutU8('T');
+  w.PutRaw(digest);
+  return Sha256::Hash(w.bytes().data(), w.size());
+}
+Digest TuskMetaKey() { return Sha256::Hash(std::string_view("tusk/meta")); }
+}  // namespace
+
+void Tusk::PersistCommit(const Digest& digest, Round round) {
+  if (store_ == nullptr) {
+    return;
+  }
+  Writer w;
+  w.PutU8('T');
+  w.PutU64(round);
+  w.PutRaw(digest);
+  store_->Put(TuskCommitKey(digest), w.Take());
+}
+
+void Tusk::PersistMeta() {
+  if (store_ == nullptr) {
+    return;
+  }
+  Writer w;
+  w.PutU8('U');
+  w.PutU64(last_committed_wave_);
+  store_->Put(TuskMetaKey(), w.Take());
+  store_->Sync();
+}
+
+void Tusk::Recover() {
+  if (store_ == nullptr) {
+    return;
+  }
+  const Round gc_round = primary_->dag().gc_round();
+  store_->ForEach([&](const Digest&, const Bytes& value) {
+    if (value.empty()) {
+      return;
+    }
+    Reader r(value.data() + 1, value.size() - 1);
+    switch (value[0]) {
+      case 'T': {
+        Round round = static_cast<Round>(r.GetU64());
+        Digest digest = r.GetArray<32>();
+        if (!r.ok() || round < gc_round) {
+          break;
+        }
+        if (committed_.insert(digest).second) {
+          committed_by_round_[round].push_back(digest);
+          ++committed_count_;
+        }
+        break;
+      }
+      case 'U':
+        last_committed_wave_ = r.GetU64();
+        break;
+      default:
+        break;
+    }
+  });
+  last_skip_counted_ = last_committed_wave_;
+  // Refresh the primary's commit bookkeeping (committed batches, own-header
+  // re-injection) for committed headers the recovered DAG still holds; the
+  // crash-restart must not cause committed payload to be re-injected.
+  for (const Digest& digest : committed_) {
+    auto header = primary_->dag().GetHeader(digest);
+    if (header != nullptr) {
+      primary_->NotifyCommitted(*header);
+    }
+  }
+}
 
 bool Tusk::WaveComplete(uint64_t wave) const {
   // The coin for wave w is revealed once the third round is populated by a
@@ -142,6 +223,9 @@ bool Tusk::CommitChain(uint64_t wave, const Certificate& leader) {
   for (auto& [lead, history] : histories) {
     for (const Digest& digest : history.ordered) {
       auto header = dag.GetHeader(digest);
+      // Write-ahead: the commit record is durable before any hook (metrics,
+      // executor, checker) observes the delivery.
+      PersistCommit(digest, header->round);
       committed_.insert(digest);
       committed_by_round_[header->round].push_back(digest);
       ++committed_count_;
@@ -159,6 +243,7 @@ bool Tusk::CommitChain(uint64_t wave, const Certificate& leader) {
     }
   }
   last_committed_wave_ = wave;
+  PersistMeta();
   NT_TRACE(tracer_, IncrCounter("tusk/committed_waves"));
 
   // Advance the garbage-collection horizon relative to the last committed
@@ -177,6 +262,9 @@ void Tusk::PruneCommitted(Round gc_round) {
        it != committed_by_round_.end() && it->first < gc_round;) {
     for (const Digest& d : it->second) {
       committed_.erase(d);
+      if (store_ != nullptr) {
+        store_->Erase(TuskCommitKey(d));
+      }
     }
     it = committed_by_round_.erase(it);
   }

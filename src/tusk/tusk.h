@@ -41,6 +41,22 @@ class Tusk {
     on_commit_hooks_.push_back(std::move(hook));
   }
 
+  // Attaches the durable consensus store (non-owning; null = ephemeral).
+  // Commit records are write-ahead persisted so a recovered validator never
+  // re-delivers a header it committed pre-crash.
+  void set_store(Store* store) { store_ = store; }
+
+  // Restores the committed set and wave cursor from the store. Call after
+  // the primary's own Recover() (GC filtering reads its horizon) and before
+  // hooks fire; recovery itself delivers nothing. Re-notifies the primary
+  // of committed headers still in the DAG so batch re-injection bookkeeping
+  // survives the crash too.
+  void Recover();
+
+  // Re-evaluates the commit rule over the recovered DAG (post-rejoin
+  // counterpart of the certificate hooks, which only fire on new arrivals).
+  void Resume() { TryCommit(); }
+
   // Wire these to the primary's hooks (done by Tusk's constructor).
   void OnCertificate(const Certificate& cert);
   void OnHeaderStored(const Digest& digest);
@@ -67,6 +83,8 @@ class Tusk {
   bool CommitChain(uint64_t wave, const Certificate& leader);
   void TryCommit();
   void PruneCommitted(Round gc_round);
+  void PersistCommit(const Digest& digest, Round round);
+  void PersistMeta();
 
   Primary* primary_;
   const Committee& committee_;
@@ -74,6 +92,7 @@ class Tusk {
   Round gc_depth_;
   Tracer* tracer_ = nullptr;
 
+  Store* store_ = nullptr;
   uint64_t last_committed_wave_ = 0;
   std::set<Digest> committed_;
   std::map<Round, std::vector<Digest>> committed_by_round_;

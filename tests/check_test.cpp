@@ -45,6 +45,57 @@ TEST(ScheduleTest, DecodeRejectsMalformedInput) {
   EXPECT_FALSE(FaultSchedule::Decode("not a schedule").has_value());
   EXPECT_FALSE(FaultSchedule::Decode("seed=1\nunknown_key=3\n").has_value());
   EXPECT_FALSE(FaultSchedule::Decode("seed=1\nvalidators=zero\n").has_value());
+  // A restart must come back strictly after it went down.
+  EXPECT_FALSE(
+      FaultSchedule::Decode("seed=1\nvalidators=4\nduration_us=1000000\nrestart=1@500-500\n")
+          .has_value());
+  EXPECT_FALSE(
+      FaultSchedule::Decode("seed=1\nvalidators=4\nduration_us=1000000\nrestart=1@500\n")
+          .has_value());
+}
+
+TEST(ScheduleTest, RestartFaultsRoundTripAndShapeTheRun) {
+  FaultSchedule s;
+  s.validators = 4;
+  s.crashes.push_back({0, Seconds(1), 0});           // Permanent.
+  s.crashes.push_back({1, Seconds(2), Seconds(5)});  // Restarts.
+  s.duration = s.Gst() + s.PostGstWindow();
+
+  EXPECT_FALSE(s.crashes[0].recovers());
+  EXPECT_TRUE(s.crashes[1].recovers());
+  // A permanent crash is outside liveness; a clean restart is not.
+  EXPECT_FALSE(s.IsCorrect(0));
+  EXPECT_TRUE(s.IsCorrect(1));
+  // GST waits for the restarted validator's resync, not the permanent crash.
+  EXPECT_GE(s.Gst(), Seconds(5));
+
+  std::string text = s.Encode();
+  EXPECT_NE(text.find("crash=0@"), std::string::npos);
+  EXPECT_NE(text.find("restart=1@"), std::string::npos);
+  std::optional<FaultSchedule> decoded = FaultSchedule::Decode(text);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->Encode(), text);
+  ASSERT_EQ(decoded->crashes.size(), 2u);
+  EXPECT_EQ(decoded->crashes[1].recover_at, Seconds(5));
+}
+
+TEST(ScheduleTest, GeneratorEmitsRestartsWithinTheDownWindowBounds) {
+  size_t restarts = 0;
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    FaultSchedule s = GenerateSchedule(seed);
+    for (const FaultSchedule::Crash& c : s.crashes) {
+      if (!c.recovers()) {
+        continue;
+      }
+      ++restarts;
+      EXPECT_GE(c.recover_at - c.at, Seconds(1)) << "seed " << seed;
+      EXPECT_LE(c.recover_at - c.at, Seconds(8)) << "seed " << seed;
+      EXPECT_GE(s.duration, c.recover_at) << "seed " << seed;
+    }
+  }
+  // ~Half of all crashes across the corpus restart; the corpus must contain
+  // a healthy number or the restart path is effectively unfuzzed.
+  EXPECT_GE(restarts, 10u);
 }
 
 TEST(ScheduleTest, GeneratedFaultsRespectTheByzantineBudget) {

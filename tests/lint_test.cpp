@@ -85,6 +85,35 @@ void Stamp(Tx* tx, uint64_t logical) { tx->time(logical); }
   EXPECT_EQ(CountRule(r, kRuleNondet), 0);
 }
 
+TEST(NondetRule, FlagsRawFileIoIncludingGlobalQualified) {
+  FileReport r = LintSource("src/narwhal/primary.cpp", R"(
+#include <unistd.h>
+void Flush(FILE* f) { fsync(fileno(f)); }
+void Repair(const char* p) { ::truncate(p, 0); }
+)");
+  // The include, fsync, fileno, and the ::-qualified truncate all fire.
+  EXPECT_EQ(CountRule(r, kRuleNondet), 4);
+}
+
+TEST(NondetRule, AllowedFileIoInWalLayerIsSuppressed) {
+  FileReport r = LintSource("src/store/store.cpp", R"(
+void Sync(FILE* f) {
+  // ntlint:allow(nondet): WAL durability barrier
+  ::fsync(::fileno(f));
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleNondet, /*include_suppressed=*/false), 0);
+  EXPECT_EQ(r.unused_allows.size(), 0u);
+}
+
+TEST(NondetRule, MemberNamedTruncateIsNotFileIo) {
+  FileReport r = LintSource("src/exec/state.cpp", R"(
+void Trim(Log& log) { log.truncate(7); }
+size_t truncate_count = 0;
+)");
+  EXPECT_EQ(CountRule(r, kRuleNondet), 0);
+}
+
 // ---------------------------------------------------------- R2 unordered-iter
 
 TEST(UnorderedIterRule, FlagsRangeForThatSerializes) {

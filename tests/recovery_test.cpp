@@ -1,0 +1,164 @@
+// Crash–restart recovery (the paper's §6 claim that a Narwhal validator
+// rejoins from its write-ahead state): a restarted validator is rebuilt from
+// its durable stores, re-derives its round and vote ledger, pulls the DAG
+// suffix it missed, and rejoins consensus — without equivocating on any
+// round it signed before the crash and without re-delivering any commit.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/hotstuff/payload.h"
+#include "src/runtime/client.h"
+#include "src/runtime/cluster.h"
+
+namespace nt {
+namespace {
+
+constexpr ValidatorId kVictim = 1;
+constexpr TimePoint kCrashAt = Seconds(2);
+constexpr TimePoint kRecoverAt = Seconds(5);
+constexpr TimePoint kRunEnd = Seconds(15);
+
+struct RecoveryRun {
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::unique_ptr<LoadGenerator>> clients;
+  // Per-validator committed digest sequence (checker-side state; survives
+  // the victim's rebuild because the harness owns it).
+  std::vector<std::vector<Digest>> commits;
+  std::vector<TimePoint> last_commit;
+  // (round, author) -> distinct header digests stored anywhere.
+  std::map<std::pair<Round, ValidatorId>, std::set<Digest>> authored;
+  uint64_t rebuilt_calls = 0;
+};
+
+RecoveryRun RunWithRestart(SystemKind system, uint64_t seed) {
+  RecoveryRun run;
+  ClusterConfig config;
+  config.system = system;
+  config.num_validators = 4;
+  config.seed = seed;
+  run.cluster = std::make_unique<Cluster>(config);
+  Cluster& cluster = *run.cluster;
+  run.commits.resize(4);
+  run.last_commit.resize(4, -1);
+
+  // Hook wiring is re-callable: a rebuilt validator's objects are new, so
+  // the cluster re-invokes this through set_on_validator_rebuilt.
+  auto wire = [&run, &cluster](ValidatorId v) {
+    cluster.primary(v)->add_on_header_stored([&run, &cluster, v](const Digest& digest) {
+      if (auto header = cluster.primary(v)->dag().GetHeader(digest)) {
+        run.authored[{header->round, header->author}].insert(digest);
+      }
+    });
+    auto on_commit = [&run, &cluster, v](const Digest& digest) {
+      run.commits[v].push_back(digest);
+      run.last_commit[v] = cluster.scheduler().now();
+    };
+    if (cluster.tusk(v) != nullptr) {
+      cluster.tusk(v)->add_on_commit(
+          [on_commit](const Tusk::Committed& c) { on_commit(c.digest); });
+    } else if (auto* np = dynamic_cast<NarwhalProvider*>(cluster.provider(v))) {
+      np->add_on_header_commit(
+          [on_commit](const Digest& d, const std::shared_ptr<const BlockHeader>&) {
+            on_commit(d);
+          });
+    }
+  };
+  for (ValidatorId v = 0; v < 4; ++v) {
+    wire(v);
+  }
+  cluster.set_on_validator_rebuilt([&run, wire](ValidatorId v) {
+    ++run.rebuilt_calls;
+    wire(v);
+  });
+
+  cluster.RestartValidator(kVictim, kCrashAt, kRecoverAt);
+
+  LoadGenerator::Options options;
+  options.rate_tps = 400;
+  options.stop_at = kRunEnd;
+  for (ValidatorId v = 0; v < 4; ++v) {
+    run.clients.push_back(std::make_unique<LoadGenerator>(&cluster, v, 0, options));
+    run.clients.back()->Start();
+  }
+  cluster.Start();
+  cluster.scheduler().RunUntil(kRunEnd);
+  return run;
+}
+
+void ExpectCleanRejoin(const RecoveryRun& run) {
+  const Cluster& cluster = *run.cluster;
+  // The rebuild happened, exactly once, and replayed real state.
+  EXPECT_EQ(run.rebuilt_calls, 1u);
+  ASSERT_EQ(cluster.recovery_stats().size(), 1u);
+  const Cluster::RecoveryStats& stats = cluster.recovery_stats()[0];
+  EXPECT_EQ(stats.validator, kVictim);
+  EXPECT_EQ(stats.recovered_at, kRecoverAt);
+  EXPECT_GT(stats.records_replayed, 0u);
+  EXPECT_GT(stats.resume_round, 0u);
+
+  // The victim rejoined: it commits again well after recovery.
+  EXPECT_GT(run.last_commit[kVictim], kRecoverAt + Seconds(2));
+
+  // Exactly-once delivery across the crash: no digest committed twice.
+  std::set<Digest> seen;
+  for (const Digest& d : run.commits[kVictim]) {
+    EXPECT_TRUE(seen.insert(d).second) << "victim re-delivered a commit after restart";
+  }
+
+  // Post-recovery commits extend the pre-crash prefix: the victim's full
+  // sequence is a prefix of (or extends) every peer's sequence.
+  for (ValidatorId v = 0; v < 4; ++v) {
+    size_t common = std::min(run.commits[kVictim].size(), run.commits[v].size());
+    for (size_t i = 0; i < common; ++i) {
+      ASSERT_EQ(run.commits[kVictim][i], run.commits[v][i])
+          << "victim diverges from validator " << v << " at commit #" << i;
+    }
+  }
+
+  // No equivocation through amnesia: at most one header digest per round
+  // authored by the restarted validator, across every peer's view.
+  for (const auto& [key, digests] : run.authored) {
+    if (key.second == kVictim) {
+      EXPECT_LE(digests.size(), 1u)
+          << "victim authored " << digests.size() << " headers for round " << key.first;
+    }
+  }
+}
+
+TEST(RecoveryTest, TuskValidatorRestartsAndRejoins) {
+  RecoveryRun run = RunWithRestart(SystemKind::kTusk, 7);
+  ExpectCleanRejoin(run);
+  // Sanity: the healthy committee committed substantially.
+  EXPECT_GT(run.commits[0].size(), 20u);
+}
+
+TEST(RecoveryTest, NarwhalHsValidatorRestartsAndRejoins) {
+  RecoveryRun run = RunWithRestart(SystemKind::kNarwhalHs, 8);
+  ExpectCleanRejoin(run);
+  EXPECT_GT(run.commits[0].size(), 10u);
+}
+
+TEST(RecoveryTest, RestartIsDeterministic) {
+  RecoveryRun a = RunWithRestart(SystemKind::kTusk, 11);
+  RecoveryRun b = RunWithRestart(SystemKind::kTusk, 11);
+  EXPECT_EQ(a.cluster->scheduler().event_hash(), b.cluster->scheduler().event_hash());
+  EXPECT_EQ(a.commits[kVictim], b.commits[kVictim]);
+}
+
+TEST(RecoveryTest, UnsupportedSystemDegradesToPermanentCrash) {
+  RecoveryRun run = RunWithRestart(SystemKind::kDagRider, 9);
+  // DagRider has no rebuild path: the restart degrades to a permanent crash
+  // (logged), the validator never comes back, and nothing is rebuilt.
+  EXPECT_EQ(run.rebuilt_calls, 0u);
+  EXPECT_TRUE(run.cluster->recovery_stats().empty());
+  EXPECT_TRUE(run.cluster->IsValidatorCrashed(kVictim));
+  // The remaining 3-of-4 committee stays live (the harness only hooks
+  // Tusk/NarwhalHs commits, so assert on DAG progress instead).
+  EXPECT_GT(run.cluster->primary(0)->round(), 20u);
+}
+
+}  // namespace
+}  // namespace nt

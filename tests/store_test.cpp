@@ -131,6 +131,118 @@ TEST_F(WalStoreTest, CorruptRecordStopsReplay) {
   EXPECT_FALSE(reopened->Contains(Key(2)));
 }
 
+// Regression for the torn-tail repair: replaying past garbage and then
+// appending produces records that are unreachable on the *next* recovery
+// (replay stops at the garbage), silently losing acknowledged writes. The
+// torture sweep truncates the log at every tail byte offset and corrupts
+// every tail byte in turn; each time, reopen must surface exactly the
+// last-good prefix, accept new appends, and keep them across a second
+// reopen.
+TEST_F(WalStoreTest, TortureEveryTailOffset) {
+  // Two synced records; their byte extents are the torture region.
+  long full_size = 0;
+  long first_end = 0;
+  {
+    auto store = WalStore::Open(path_);
+    ASSERT_NE(store, nullptr);
+    store->Put(Key(1), Bytes(13, 0xaa));
+    store->Sync();
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    first_end = std::ftell(f);
+    std::fclose(f);
+    store->Put(Key(2), Bytes(29, 0xbb));
+    store->Sync();
+  }
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    full_size = std::ftell(f);
+    std::fclose(f);
+  }
+  Bytes pristine(static_cast<size_t>(full_size));
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_EQ(std::fread(pristine.data(), 1, pristine.size(), f), pristine.size());
+    std::fclose(f);
+  }
+  auto restore = [&] {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    std::fwrite(pristine.data(), 1, pristine.size(), f);
+    std::fclose(f);
+  };
+  auto expect_prefix = [&](long cut, const char* what) {
+    // Anything short of the full second record must recover exactly the
+    // first; cutting into the first as well must recover nothing.
+    size_t want = cut >= full_size ? 2u : (cut >= first_end ? 1u : 0u);
+    auto reopened = WalStore::Open(path_);
+    ASSERT_NE(reopened, nullptr) << what << " at offset " << cut;
+    EXPECT_EQ(reopened->recovered_records(), want) << what << " at offset " << cut;
+    EXPECT_EQ(reopened->Contains(Key(1)), want >= 1) << what << " at offset " << cut;
+    EXPECT_EQ(reopened->Contains(Key(2)), want >= 2) << what << " at offset " << cut;
+    // Appending after repair must survive a second crash-reopen — this is
+    // the bug the torn-tail truncation exists to prevent.
+    reopened->Put(Key(3), {3});
+    reopened->Sync();
+    reopened.reset();
+    auto again = WalStore::Open(path_);
+    ASSERT_NE(again, nullptr) << what << " at offset " << cut;
+    EXPECT_EQ(again->recovered_records(), want + 1) << what << " at offset " << cut;
+    EXPECT_TRUE(again->Contains(Key(3))) << what << " at offset " << cut;
+    EXPECT_EQ(again->truncated_bytes(), 0u) << what << " at offset " << cut;
+  };
+
+  // Torn tail: truncate at every offset inside the log.
+  for (long cut = 0; cut < full_size; ++cut) {
+    restore();
+    ASSERT_EQ(truncate(path_.c_str(), cut), 0);
+    {
+      auto reopened = WalStore::Open(path_);
+      ASSERT_NE(reopened, nullptr);
+      // The repair only rewinds to a record boundary; any mid-record cut
+      // reports the dangling bytes as truncated.
+      long boundary = cut >= first_end ? first_end : 0;
+      EXPECT_EQ(reopened->truncated_bytes(), static_cast<size_t>(cut - boundary));
+    }
+    expect_prefix(cut, "truncate");
+  }
+
+  // Corruption: flip every byte of the second record in turn (the first
+  // record stays intact, so recovery must stop exactly at its boundary).
+  for (long at = first_end; at < full_size; ++at) {
+    restore();
+    {
+      std::FILE* f = std::fopen(path_.c_str(), "rb+");
+      std::fseek(f, at, SEEK_SET);
+      uint8_t byte = 0;
+      ASSERT_EQ(std::fread(&byte, 1, 1, f), 1u);
+      std::fseek(f, at, SEEK_SET);
+      byte ^= 0xff;
+      std::fwrite(&byte, 1, 1, f);
+      std::fclose(f);
+    }
+    expect_prefix(first_end, "corrupt");
+  }
+}
+
+// Regression for the fsync fix: Sync() must reach the file descriptor (not
+// just the stdio buffer), and each call is counted so policy code (e.g.
+// sync-on-seal in the worker) is observable in tests.
+TEST_F(WalStoreTest, SyncIsCountedAndDataIsOnDiskBeforeClose) {
+  auto store = WalStore::Open(path_);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->sync_count(), 0u);
+  store->Put(Key(4), Bytes(64, 0x44));
+  store->Sync();
+  EXPECT_EQ(store->sync_count(), 1u);
+  // Without closing the writing store, a reader must already see the full
+  // record — fflush+fsync pushed it past the stdio buffer.
+  auto reader = WalStore::Open(path_);
+  ASSERT_NE(reader, nullptr);
+  EXPECT_EQ(reader->recovered_records(), 1u);
+  EXPECT_EQ(*reader->Get(Key(4)), Bytes(64, 0x44));
+}
+
 TEST_F(WalStoreTest, LargeValuesRoundTrip) {
   Bytes big(1 << 20);
   for (size_t i = 0; i < big.size(); ++i) {
