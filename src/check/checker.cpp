@@ -59,6 +59,8 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
   // self-contained; restore on every exit path.
   seeded_bugs::Scoped bug1(&seeded_bugs::accept_2f_certs, schedule.bug_accept_2f_certs);
   seeded_bugs::Scoped bug2(&seeded_bugs::skip_tusk_support, schedule.bug_skip_tusk_support);
+  seeded_bugs::Scoped bug3(&seeded_bugs::skip_bullshark_support,
+                           schedule.bug_skip_bullshark_support);
 
   ClusterConfig config;
   config.system = schedule.system;
@@ -222,6 +224,10 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
       cluster.tusk(v)->add_on_commit([on_committed](const Tusk::Committed& c) {
         on_committed(c.digest, c.header);
       });
+    } else if (schedule.system == SystemKind::kBullshark) {
+      cluster.bullshark(v)->add_on_commit([on_committed](const Bullshark::Committed& c) {
+        on_committed(c.digest, c.header);
+      });
     } else {
       auto* provider = dynamic_cast<NarwhalProvider*>(cluster.provider(v));
       provider->add_on_header_commit(on_committed);
@@ -285,31 +291,43 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
 
   // --- end-of-run invariants ------------------------------------------------
 
-  // (4) oracle agreement (Tusk only): pure §5 replay over the union DAG.
-  if (schedule.system == SystemKind::kTusk) {
-    CommonCoin coin(schedule.seed);
-    TuskReplay replay =
-        ReplayTusk(union_dag, cluster.committee(), coin, config.narwhal.gc_depth);
+  // (4) oracle agreement (Tusk and Bullshark): pure replay of the commit
+  // rule over the union DAG; every correct validator's live sequence must be
+  // a prefix of the reference sequence.
+  if (schedule.system == SystemKind::kTusk || schedule.system == SystemKind::kBullshark) {
+    std::vector<Digest> reference;
+    bool reference_complete = true;
+    if (schedule.system == SystemKind::kTusk) {
+      CommonCoin coin(schedule.seed);
+      TuskReplay replay =
+          ReplayTusk(union_dag, cluster.committee(), coin, config.narwhal.gc_depth);
+      reference = std::move(replay.ordered);
+      reference_complete = replay.complete;
+    } else {
+      BullsharkReplay replay = ReplayBullshark(union_dag, cluster.committee(),
+                                               config.narwhal.gc_depth, config.bullshark);
+      reference = std::move(replay.ordered);
+      reference_complete = replay.complete;
+    }
     for (ValidatorId v = 0; v < n; ++v) {
       if (!schedule.IsCorrect(v)) {
         continue;
       }
-      size_t common = std::min(commit_seq[v].size(), replay.ordered.size());
+      size_t common = std::min(commit_seq[v].size(), reference.size());
       for (size_t i = 0; i < common; ++i) {
-        if (commit_seq[v][i] != replay.ordered[i]) {
+        if (commit_seq[v][i] != reference[i]) {
           violation("oracle-agreement",
                     "validator " + std::to_string(v) + " commit #" + std::to_string(i) +
                         " is " + DigestPrefix(commit_seq[v][i]) + ", reference replay has " +
-                        DigestPrefix(replay.ordered[i]));
+                        DigestPrefix(reference[i]));
           break;
         }
       }
-      if (replay.complete && commit_seq[v].size() > replay.ordered.size()) {
+      if (reference_complete && commit_seq[v].size() > reference.size()) {
         violation("oracle-agreement",
                   "validator " + std::to_string(v) + " committed " +
                       std::to_string(commit_seq[v].size()) +
-                      " headers, reference replay only " +
-                      std::to_string(replay.ordered.size()));
+                      " headers, reference replay only " + std::to_string(reference.size()));
       }
     }
   }
@@ -327,6 +345,11 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
         continue;
       }
       std::string at_round = " (mempool round " + std::to_string(cluster.primary(v)->round());
+      if (cluster.bullshark(v) != nullptr) {
+        at_round += ", bullshark wave " +
+                    std::to_string(cluster.bullshark(v)->last_committed_wave()) +
+                    ", skipped anchors " + std::to_string(cluster.bullshark(v)->skipped_anchors());
+      }
       if (cluster.hotstuff(v) != nullptr) {
         at_round += ", hs view " + std::to_string(cluster.hotstuff(v)->current_view()) +
                     ", hs commits " + std::to_string(cluster.hotstuff(v)->committed_blocks());

@@ -107,4 +107,117 @@ TuskReplay ReplayTusk(Dag dag, const Committee& committee, const ThresholdCoin& 
   return out;
 }
 
+namespace {
+
+// Bullshark's commit rule: anchor's round-2w support count on the reference
+// DAG. Identical to Bullshark::CommitRuleSatisfied, minus the seeded-bug
+// weakening (the oracle stays honest when the live path is broken).
+bool AnchorSupportSatisfied(const Dag& dag, uint64_t wave, const Certificate& anchor,
+                            const Committee& committee) {
+  uint32_t votes = 0;
+  for (const auto& [author, cert] : dag.CertsAt(Bullshark::WaveSupportRound(wave))) {
+    auto header = dag.GetHeader(cert.header_digest);
+    if (header == nullptr) {
+      continue;
+    }
+    for (const Certificate& parent : header->parents) {
+      if (parent.header_digest == anchor.header_digest) {
+        ++votes;
+        break;
+      }
+    }
+  }
+  return votes >= committee.validity_threshold();
+}
+
+}  // namespace
+
+BullsharkReplay ReplayBullshark(Dag dag, const Committee& committee, Round gc_depth,
+                                BullsharkConfig config) {
+  BullsharkReplay out;
+  std::set<Digest> committed;
+  std::map<Round, std::vector<Digest>> committed_by_round;
+  AnchorSchedule schedule(committee.size(), config);
+  uint64_t last_committed_wave = 0;
+
+  Round top = dag.HighestRound();
+  if (top < 2) {
+    return out;
+  }
+  uint64_t max_wave = top / 2;
+  for (uint64_t wave = last_committed_wave + 1; wave <= max_wave; ++wave) {
+    const Certificate* anchor =
+        dag.GetCert(Bullshark::WaveAnchorRound(wave), schedule.AuthorOf(wave));
+    if (anchor == nullptr || committed.count(anchor->header_digest) != 0) {
+      continue;
+    }
+    if (!AnchorSupportSatisfied(dag, wave, *anchor, committee)) {
+      continue;  // No third-round gate: a later anchor orders this by path.
+    }
+
+    // Chain back through skipped waves by DAG reachability, exactly as the
+    // live committer does — with the same pre-event schedule state for every
+    // author lookup belonging to this commit event.
+    std::vector<const Certificate*> chain{anchor};
+    const Certificate* candidate = anchor;
+    for (uint64_t i = wave - 1; i > last_committed_wave && i > 0; --i) {
+      const Certificate* ai =
+          dag.GetCert(Bullshark::WaveAnchorRound(i), schedule.AuthorOf(i));
+      if (ai == nullptr || committed.count(ai->header_digest) != 0) {
+        continue;
+      }
+      if (dag.HasPath(candidate->header_digest, ai->header_digest)) {
+        chain.push_back(ai);
+        candidate = ai;
+      }
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    for (const Certificate* lead : chain) {
+      Dag::History history = dag.CollectCausalHistory(lead->header_digest, committed);
+      if (!history.missing.empty()) {
+        out.complete = false;
+        return out;  // Under-observed union DAG; nothing sound to say beyond here.
+      }
+      for (const Digest& digest : history.ordered) {
+        committed.insert(digest);
+        committed_by_round[dag.GetHeader(digest)->round].push_back(digest);
+        out.ordered.push_back(digest);
+      }
+    }
+
+    // Settle wave outcomes into the reputation fold — authors resolved with
+    // the pre-event state first, mirroring Bullshark::SettleOutcomes.
+    {
+      std::vector<ValidatorId> authors;
+      for (uint64_t i = last_committed_wave + 1; i <= wave; ++i) {
+        authors.push_back(schedule.AuthorOf(i));
+      }
+      for (uint64_t i = last_committed_wave + 1; i <= wave; ++i) {
+        ValidatorId author = authors[static_cast<size_t>(i - last_committed_wave - 1)];
+        const Certificate* cert = dag.GetCert(Bullshark::WaveAnchorRound(i), author);
+        bool ordered = cert != nullptr && committed.count(cert->header_digest) != 0;
+        schedule.RecordOutcome(i, author, ordered);
+      }
+    }
+    last_committed_wave = wave;
+
+    // Mirror the live GC horizon so linearization never reaches below what
+    // live validators keep (CollectCausalHistory stops at dag.gc_round()).
+    Round anchor_round = Bullshark::WaveAnchorRound(wave);
+    if (anchor_round > gc_depth) {
+      Round gc_round = anchor_round - gc_depth;
+      dag.GarbageCollect(gc_round);
+      for (auto it = committed_by_round.begin();
+           it != committed_by_round.end() && it->first < gc_round;) {
+        for (const Digest& d : it->second) {
+          committed.erase(d);
+        }
+        it = committed_by_round.erase(it);
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace nt

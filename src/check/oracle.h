@@ -1,15 +1,17 @@
-// Pure reference re-run of the Tusk commit rule (paper §5) over a complete
-// DAG — the oracle the DST harness compares every live validator's commit
-// sequence against (invariant: live output is a prefix of the reference
-// output). Unlike the live `Tusk` class it has no network, no deferral, no
-// sync: it assumes its input DAG already holds the union of everything any
-// validator observed, and interprets waves strictly in order, mirroring the
-// live garbage-collection horizon as it goes.
+// Pure reference re-runs of the DAG commit rules (Tusk, paper §5; Bullshark,
+// arXiv:2201.05677) over a complete DAG — the oracles the DST harness
+// compares every live validator's commit sequence against (invariant: live
+// output is a prefix of the reference output). Unlike the live committers
+// they have no network, no deferral, no sync: they assume their input DAG
+// already holds the union of everything any validator observed, and
+// interpret waves strictly in order, mirroring the live garbage-collection
+// horizon as they go.
 #ifndef SRC_CHECK_ORACLE_H_
 #define SRC_CHECK_ORACLE_H_
 
 #include <vector>
 
+#include "src/bullshark/bullshark.h"
 #include "src/crypto/coin.h"
 #include "src/narwhal/dag.h"
 #include "src/types/committee.h"
@@ -30,6 +32,21 @@ struct TuskReplay {
 // and gc_depth must match the live run's.
 TuskReplay ReplayTusk(Dag dag, const Committee& committee, const ThresholdCoin& coin,
                       Round gc_depth);
+
+struct BullsharkReplay {
+  // Committed header digests in delivery order.
+  std::vector<Digest> ordered;
+  // See TuskReplay::complete.
+  bool complete = true;
+};
+
+// Replays the Bullshark commit rule over `dag` (taken by value — the replay
+// garbage-collects as it commits). No coin: anchors follow the deterministic
+// AnchorSchedule, which `config` parameterizes exactly as for the live
+// committer (reputation must match the live run's flag). The oracle stays
+// honest regardless of seeded_bugs weakenings of the live path.
+BullsharkReplay ReplayBullshark(Dag dag, const Committee& committee, Round gc_depth,
+                                BullsharkConfig config = {});
 
 }  // namespace nt
 

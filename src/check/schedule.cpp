@@ -135,7 +135,11 @@ FaultSchedule GenerateSchedule(uint64_t seed, std::optional<SystemKind> system_o
 std::string FaultSchedule::Encode() const {
   std::ostringstream out;
   out << "seed=" << seed << "\n";
-  out << "system=" << (system == SystemKind::kTusk ? "tusk" : "narwhal-hs") << "\n";
+  out << "system="
+      << (system == SystemKind::kTusk
+              ? "tusk"
+              : system == SystemKind::kBullshark ? "bullshark" : "narwhal-hs")
+      << "\n";
   out << "validators=" << validators << "\n";
   out << "duration_us=" << duration << "\n";
   out << "tx_interval_us=" << tx_interval << "\n";
@@ -164,6 +168,9 @@ std::string FaultSchedule::Encode() const {
   if (bug_skip_tusk_support) {
     out << "bug=skip_tusk_support\n";
   }
+  if (bug_skip_bullshark_support) {
+    out << "bug=skip_bullshark_support\n";
+  }
   return out.str();
 }
 
@@ -191,6 +198,8 @@ std::optional<FaultSchedule> FaultSchedule::Decode(const std::string& text) {
         s.system = SystemKind::kTusk;
       } else if (value == "narwhal-hs") {
         s.system = SystemKind::kNarwhalHs;
+      } else if (value == "bullshark") {
+        s.system = SystemKind::kBullshark;
       } else {
         return std::nullopt;
       }
@@ -245,6 +254,8 @@ std::optional<FaultSchedule> FaultSchedule::Decode(const std::string& text) {
         s.bug_accept_2f_certs = true;
       } else if (value == "skip_tusk_support") {
         s.bug_skip_tusk_support = true;
+      } else if (value == "skip_bullshark_support") {
+        s.bug_skip_bullshark_support = true;
       } else {
         return std::nullopt;
       }

@@ -22,15 +22,15 @@ namespace nt {
 
 struct FaultSchedule {
   uint64_t seed = 1;
-  SystemKind system = SystemKind::kTusk;  // kTusk or kNarwhalHs.
+  SystemKind system = SystemKind::kTusk;  // kTusk, kNarwhalHs, or kBullshark.
   uint32_t validators = 4;
   TimeDelta duration = Seconds(12);
 
   // A crash is permanent when recover_at == 0; otherwise the validator is
   // down for [at, recover_at) and then rebuilt from its durable stores
   // (Cluster::RestartValidator). Restarts are only generated for systems
-  // where the cluster supports rebuilds (kTusk, kNarwhalHs — which is all
-  // the DST harness fuzzes).
+  // where the cluster supports rebuilds (kTusk, kNarwhalHs, kBullshark —
+  // which is all the DST harness fuzzes).
   struct Crash {
     ValidatorId validator = 0;
     TimePoint at = 0;
@@ -66,6 +66,7 @@ struct FaultSchedule {
   // src/common/seeded_bugs.h). Serialized so repro files are self-contained.
   bool bug_accept_2f_certs = false;
   bool bug_skip_tusk_support = false;
+  bool bug_skip_bullshark_support = false;
 
   // Global stabilization time: the end of the last partition/asynchrony
   // window (0 when none), extended by the in-flight tail of delayed
@@ -104,7 +105,10 @@ struct FaultSchedule {
 
 // Draws the schedule for `seed` deterministically (same seed, same schedule,
 // on every platform). `system_override`, when set, pins the system instead
-// of letting the seed pick Tusk vs Narwhal-HS.
+// of letting the seed pick Tusk vs Narwhal-HS. (The seed draw is frozen at
+// the historical two-way choice so existing corpora and golden event hashes
+// stay byte-identical; Bullshark coverage comes from pinned `--system
+// bullshark` bands.)
 FaultSchedule GenerateSchedule(uint64_t seed,
                                std::optional<SystemKind> system_override = std::nullopt);
 

@@ -25,6 +25,13 @@ extern bool accept_2f_certs;
 // (validators with different views commit different leader chains).
 extern bool skip_tusk_support;
 
+// Bullshark's commit rule accepts f round-2w support votes instead of f+1 —
+// one vote short of quorum intersection, so an anchor can commit at one
+// validator while remaining forever invisible (neither direct-committed nor
+// path-ordered) at others: committed sequences fork (violates commit-prefix
+// consistency / agreement with ReplayBullshark).
+extern bool skip_bullshark_support;
+
 // RAII guard for tests: sets a flag, restores the previous value on exit.
 class Scoped {
  public:

@@ -35,9 +35,9 @@ bool InQuorumScope(const std::string& p) {
   if (p == "src/types/committee.h") {
     return false;  // The one blessed home for threshold arithmetic.
   }
-  static const char* kDirs[] = {"src/narwhal/", "src/tusk/",    "src/hotstuff/",
-                                "src/types/",   "src/check/",   "src/exec/",
-                                "src/runtime/", "src/crypto/coin"};
+  static const char* kDirs[] = {"src/narwhal/", "src/tusk/",    "src/bullshark/",
+                                "src/hotstuff/", "src/types/",  "src/check/",
+                                "src/exec/",    "src/runtime/", "src/crypto/coin"};
   for (const char* d : kDirs) {
     if (StartsWith(p, d)) {
       return true;

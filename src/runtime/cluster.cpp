@@ -18,6 +18,8 @@ const char* SystemName(SystemKind kind) {
       return "Tusk";
     case SystemKind::kDagRider:
       return "DAG-Rider";
+    case SystemKind::kBullshark:
+      return "Bullshark";
   }
   return "?";
 }
@@ -51,7 +53,8 @@ Cluster::Cluster(const ClusterConfig& config)
 
   const bool narwhal_based = config_.system == SystemKind::kNarwhalHs ||
                              config_.system == SystemKind::kTusk ||
-                             config_.system == SystemKind::kDagRider;
+                             config_.system == SystemKind::kDagRider ||
+                             config_.system == SystemKind::kBullshark;
   if (narwhal_based) {
     BuildNarwhal();
   }
@@ -63,6 +66,16 @@ Cluster::Cluster(const ClusterConfig& config)
         tusks_.push_back(std::make_unique<Tusk>(primaries_[v].get(), committee_, &coin_,
                                                 config_.narwhal.gc_depth));
         tusks_.back()->set_store(consensus_stores_[v].get());
+      }
+      WireTuskMetrics();
+      break;
+    case SystemKind::kBullshark:
+      consensus_stores_.resize(config_.num_validators);
+      for (uint32_t v = 0; v < config_.num_validators; ++v) {
+        consensus_stores_[v] = MakeStore("consensus_" + std::to_string(v) + ".wal");
+        bullsharks_.push_back(std::make_unique<Bullshark>(
+            primaries_[v].get(), committee_, config_.narwhal.gc_depth, config_.bullshark));
+        bullsharks_.back()->set_store(consensus_stores_[v].get());
       }
       WireTuskMetrics();
       break;
@@ -96,6 +109,9 @@ void Cluster::AttachTracer() {
   }
   for (auto& tusk : tusks_) {
     tusk->set_tracer(tracer_.get());
+  }
+  for (auto& bullshark : bullsharks_) {
+    bullshark->set_tracer(tracer_.get());
   }
   for (auto& hs : hs_nodes_) {
     hs->set_tracer(tracer_.get());
@@ -335,6 +351,9 @@ void Cluster::WireTuskMetricsFor(ValidatorId v) {
   if (!tusks_.empty()) {
     tusks_[v]->add_on_commit(
         [sink](const Tusk::Committed& committed) { sink(committed.header); });
+  } else if (!bullsharks_.empty()) {
+    bullsharks_[v]->add_on_commit(
+        [sink](const Bullshark::Committed& committed) { sink(committed.header); });
   } else {
     riders_[v]->add_on_commit(
         [sink](const DagRider::Committed& committed) { sink(committed.header); });
@@ -349,6 +368,7 @@ void Cluster::SubmitTx(ValidatorId v, WorkerId w, uint64_t size_bytes,
     case SystemKind::kTusk:
     case SystemKind::kDagRider:
     case SystemKind::kNarwhalHs:
+    case SystemKind::kBullshark:
       workers_[v][w % config_.workers_per_validator]->SubmitTransaction(size_bytes, sample);
       break;
     case SystemKind::kBaselineHs: {
@@ -419,6 +439,9 @@ void Cluster::RebuildValidator(ValidatorId v) {
   if (!tusks_.empty()) {
     tusks_[v].reset();
   }
+  if (!bullsharks_.empty()) {
+    bullsharks_[v].reset();
+  }
   if (!hs_nodes_.empty()) {
     hs_nodes_[v].reset();
   }
@@ -455,6 +478,12 @@ void Cluster::RebuildValidator(ValidatorId v) {
     tusks_[v]->set_store(consensus_stores_[v].get());
     tusks_[v]->Recover();
     WireTuskMetricsFor(v);
+  } else if (config_.system == SystemKind::kBullshark) {
+    bullsharks_[v] = std::make_unique<Bullshark>(primaries_[v].get(), committee_,
+                                                 config_.narwhal.gc_depth, config_.bullshark);
+    bullsharks_[v]->set_store(consensus_stores_[v].get());
+    bullsharks_[v]->Recover();
+    WireTuskMetricsFor(v);
   } else {  // kNarwhalHs (the only other SupportsRestart() system).
     auto provider = std::make_unique<NarwhalProvider>(v, committee_, primaries_[v].get(),
                                                       &directory_, config_.narwhal.gc_depth);
@@ -482,6 +511,9 @@ void Cluster::RebuildValidator(ValidatorId v) {
     if (!tusks_.empty()) {
       tusks_[v]->set_tracer(tracer_.get());
     }
+    if (!bullsharks_.empty()) {
+      bullsharks_[v]->set_tracer(tracer_.get());
+    }
     if (!hs_nodes_.empty()) {
       hs_nodes_[v]->set_tracer(tracer_.get());
     }
@@ -508,6 +540,9 @@ void Cluster::RebuildValidator(ValidatorId v) {
   }
   if (!tusks_.empty()) {
     tusks_[v]->Resume();
+  }
+  if (!bullsharks_.empty()) {
+    bullsharks_[v]->Resume();
   }
   if (!hs_nodes_.empty()) {
     hs_nodes_[v]->OnStart();

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/bullshark/bullshark.h"
 #include "src/crypto/coin.h"
 #include "src/hotstuff/hotstuff.h"
 #include "src/narwhal/mempool.h"
@@ -22,13 +23,14 @@
 
 namespace nt {
 
-// Which of the paper's systems to deploy.
+// Which of the evaluated systems to deploy.
 enum class SystemKind {
   kBaselineHs,  // HotStuff with a gossiped transaction mempool.
   kBatchedHs,   // HotStuff over best-effort batches (Prism-style).
   kNarwhalHs,   // HotStuff over the Narwhal mempool.
   kTusk,        // Narwhal + Tusk asynchronous consensus.
   kDagRider,    // Narwhal + DAG-Rider committer (ablation).
+  kBullshark,   // Narwhal + Bullshark partially-synchronous 2-round rule.
 };
 
 const char* SystemName(SystemKind kind);
@@ -55,6 +57,7 @@ struct ClusterConfig {
 
   NarwhalConfig narwhal;
   HotStuffConfig hotstuff;
+  BullsharkConfig bullshark;
   NetworkConfig net;
 
   // When non-empty, each worker persists batches to a WAL at
@@ -108,7 +111,8 @@ class Cluster {
   // otherwise logs an error and degrades to a permanent crash.
   void RestartValidator(ValidatorId v, TimePoint crash_at, TimePoint recover_at);
   bool SupportsRestart() const {
-    return config_.system == SystemKind::kTusk || config_.system == SystemKind::kNarwhalHs;
+    return config_.system == SystemKind::kTusk || config_.system == SystemKind::kNarwhalHs ||
+           config_.system == SystemKind::kBullshark;
   }
 
   // Fired after a validator's objects were rebuilt and recovered but before
@@ -157,6 +161,9 @@ class Cluster {
     return workers_.empty() ? nullptr : workers_[v][w].get();
   }
   Tusk* tusk(ValidatorId v) { return tusks_.empty() ? nullptr : tusks_[v].get(); }
+  Bullshark* bullshark(ValidatorId v) {
+    return bullsharks_.empty() ? nullptr : bullsharks_[v].get();
+  }
   DagRider* dag_rider(ValidatorId v) { return riders_.empty() ? nullptr : riders_[v].get(); }
   HotStuff* hotstuff(ValidatorId v) { return hs_nodes_.empty() ? nullptr : hs_nodes_[v].get(); }
   PayloadProvider* provider(ValidatorId v) {
@@ -220,6 +227,7 @@ class Cluster {
   std::vector<std::unique_ptr<Primary>> primaries_;
   std::vector<std::vector<std::unique_ptr<Worker>>> workers_;
   std::vector<std::unique_ptr<Tusk>> tusks_;
+  std::vector<std::unique_ptr<Bullshark>> bullsharks_;
   std::vector<std::unique_ptr<DagRider>> riders_;
   std::vector<std::unique_ptr<PayloadProvider>> providers_;
   std::vector<std::unique_ptr<HotStuff>> hs_nodes_;

@@ -24,6 +24,7 @@ TEST(ScheduleTest, GeneratorIsDeterministic) {
 TEST(ScheduleTest, SystemOverridePinsTheSystem) {
   EXPECT_EQ(GenerateSchedule(5, SystemKind::kTusk).system, SystemKind::kTusk);
   EXPECT_EQ(GenerateSchedule(5, SystemKind::kNarwhalHs).system, SystemKind::kNarwhalHs);
+  EXPECT_EQ(GenerateSchedule(5, SystemKind::kBullshark).system, SystemKind::kBullshark);
 }
 
 TEST(ScheduleTest, EncodeDecodeRoundTrip) {
@@ -34,6 +35,10 @@ TEST(ScheduleTest, EncodeDecodeRoundTrip) {
     }
     if (seed % 3 == 0) {
       s.bug_skip_tusk_support = true;
+    }
+    if (seed % 5 == 0) {
+      s.system = SystemKind::kBullshark;
+      s.bug_skip_bullshark_support = true;
     }
     std::optional<FaultSchedule> decoded = FaultSchedule::Decode(s.Encode());
     ASSERT_TRUE(decoded.has_value()) << "seed " << seed;
@@ -157,6 +162,36 @@ TEST(MutationGateTest, SkipTuskSupportIsCaughtAndShrinks) {
     oracle |= v.invariant == "oracle-agreement";
   }
   EXPECT_TRUE(oracle) << shrunk.verdict.Summary();
+}
+
+TEST(MutationGateTest, SkipBullsharkSupportVotesIsCaughtAndShrinks) {
+  // The seed draw never picks Bullshark, so this gate pins the system on
+  // every seed (as `ntcheck --bug skip_bullshark_support_votes` does)
+  // instead of alternating by parity.
+  std::optional<FaultSchedule> failing;
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    FaultSchedule s = GenerateSchedule(seed, SystemKind::kBullshark);
+    s.bug_skip_bullshark_support = true;
+    if (!RunSchedule(s).ok()) {
+      failing = s;
+      break;
+    }
+  }
+  ASSERT_TRUE(failing.has_value())
+      << "weakened bullshark support quorum (f votes) survived 64 fuzz seeds";
+
+  ShrinkResult shrunk = Shrink(*failing);
+  EXPECT_FALSE(shrunk.verdict.ok());
+  EXPECT_LE(shrunk.schedule.validators, 4u);
+  EXPECT_LE(shrunk.schedule.FaultCount(), 2u);
+  // Committing on f support votes breaks quorum intersection: the live rule
+  // orders anchors the honest f+1 reference replay skips, so the checker
+  // must pin the divergence on oracle agreement (or the resulting fork).
+  bool ordering = false;
+  for (const Violation& v : shrunk.verdict.violations) {
+    ordering |= v.invariant == "oracle-agreement" || v.invariant == "prefix-consistency";
+  }
+  EXPECT_TRUE(ordering) << shrunk.verdict.Summary();
 }
 
 }  // namespace

@@ -38,6 +38,23 @@ TEST(DeterminismTest, SameScheduleSameEventHash) {
   }
 }
 
+TEST(DeterminismTest, BullsharkSameScheduleSameEventHash) {
+  // The seed draw never picks Bullshark (frozen two-way choice), so pin it:
+  // its commit path — anchor schedule, chain walk, WAL writes — must be as
+  // replay-stable as Tusk's.
+  for (uint64_t seed : {1ull, 17ull, 42ull}) {
+    FaultSchedule schedule = GenerateSchedule(seed, SystemKind::kBullshark);
+    CheckResult a = RunSchedule(schedule);
+    CheckResult b = RunSchedule(schedule);
+    EXPECT_NE(a.event_hash, 0u) << "seed " << seed;
+    EXPECT_EQ(a.event_hash, b.event_hash) << "seed " << seed;
+    EXPECT_EQ(a.events_fired, b.events_fired) << "seed " << seed;
+    EXPECT_EQ(a.commits, b.commits) << "seed " << seed;
+    EXPECT_GT(a.commits, 0u) << "seed " << seed;
+    EXPECT_EQ(a.violations.size(), b.violations.size()) << "seed " << seed;
+  }
+}
+
 TEST(DeterminismTest, SelfCheckPasses) {
   // The built-in double-run self check (used by `ntcheck --replay`) must not
   // flag a determinism violation on a healthy schedule.

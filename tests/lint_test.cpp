@@ -209,6 +209,25 @@ bool Quorate(uint32_t votes, const Committee& c) {
   EXPECT_EQ(CountRule(r, kRuleQuorumArith), 0);
 }
 
+TEST(QuorumArithRule, BullsharkSupportVoteCountingIsInScope) {
+  // The Bullshark commit rule counts support votes against f+1; hand-rolled
+  // threshold arithmetic in src/bullshark/ must fire like everywhere else.
+  FileReport r = LintSource("src/bullshark/bullshark.cpp", R"(
+bool Supported(uint32_t votes, const Committee& c) { return votes >= c.f() + 1; }
+uint32_t Faulty(uint32_t n) { return (n - 1) / 3; }
+)");
+  EXPECT_EQ(CountRule(r, kRuleQuorumArith), 2);
+}
+
+TEST(QuorumArithRule, BullsharkRoutedSupportThresholdIsSilent) {
+  FileReport r = LintSource("src/bullshark/bullshark.cpp", R"(
+bool Supported(uint32_t votes, const Committee& c) {
+  return votes >= c.validity_threshold() && votes >= Committee::ValidityThresholdFor(c.size());
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleQuorumArith), 0);
+}
+
 TEST(QuorumArithRule, OutOfScopePathsAndTheBlessedHomeAreSilent) {
   const char* body = "uint32_t q = 2 * f + 1; uint32_t m = n / 3;\n";
   EXPECT_EQ(CountRule(LintSource("src/net/latency.cpp", body), kRuleQuorumArith), 0);

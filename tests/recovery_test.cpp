@@ -59,6 +59,9 @@ RecoveryRun RunWithRestart(SystemKind system, uint64_t seed) {
     if (cluster.tusk(v) != nullptr) {
       cluster.tusk(v)->add_on_commit(
           [on_commit](const Tusk::Committed& c) { on_commit(c.digest); });
+    } else if (cluster.bullshark(v) != nullptr) {
+      cluster.bullshark(v)->add_on_commit(
+          [on_commit](const Bullshark::Committed& c) { on_commit(c.digest); });
     } else if (auto* np = dynamic_cast<NarwhalProvider*>(cluster.provider(v))) {
       np->add_on_header_commit(
           [on_commit](const Digest& d, const std::shared_ptr<const BlockHeader>&) {
@@ -132,6 +135,15 @@ TEST(RecoveryTest, TuskValidatorRestartsAndRejoins) {
   RecoveryRun run = RunWithRestart(SystemKind::kTusk, 7);
   ExpectCleanRejoin(run);
   // Sanity: the healthy committee committed substantially.
+  EXPECT_GT(run.commits[0].size(), 20u);
+}
+
+TEST(RecoveryTest, BullsharkValidatorRestartsAndRejoins) {
+  // The victim goes down mid-anchor-chain; recovery must restore the
+  // committed-wave cursor from the 'S' meta record so resumed delivery
+  // extends — never re-plays or skips — the pre-crash anchor chain.
+  RecoveryRun run = RunWithRestart(SystemKind::kBullshark, 7);
+  ExpectCleanRejoin(run);
   EXPECT_GT(run.commits[0].size(), 20u);
 }
 

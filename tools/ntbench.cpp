@@ -1,13 +1,13 @@
 // ntbench — command-line experiment runner, the counterpart of the paper
 // artifact's `fab local/remote` scripts: deploy one configuration of one of
-// the five systems on the simulated WAN and report throughput/latency.
+// the six systems on the simulated WAN and report throughput/latency.
 //
 //   ntbench --system tusk --nodes 10 --rate 100000 --duration 20
 //   ntbench --system narwhal-hs --nodes 4 --workers 7 --dedicated --rate 700000
 //   ntbench --system batched-hs --nodes 10 --faults 3 --rate 70000 --csv
 //
 // Flags:
-//   --system {baseline-hs,batched-hs,narwhal-hs,tusk,dag-rider}   (default tusk)
+//   --system {baseline-hs,batched-hs,narwhal-hs,tusk,dag-rider,bullshark}   (default tusk)
 //   --nodes N         validators (default 4)
 //   --workers W       workers per validator (default 1)
 //   --dedicated       one machine per worker (default: collocated)
@@ -60,6 +60,9 @@ SystemKind ParseSystem(const std::string& name) {
   }
   if (name == "dag-rider") {
     return SystemKind::kDagRider;
+  }
+  if (name == "bullshark") {
+    return SystemKind::kBullshark;
   }
   Usage("unknown --system");
 }

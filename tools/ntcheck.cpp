@@ -38,9 +38,11 @@ using nt::FaultSchedule;
 using nt::SystemKind;
 
 void PrintVerdict(const FaultSchedule& schedule, const CheckResult& result) {
+  const char* system_name = schedule.system == SystemKind::kTusk ? "tusk"
+                            : schedule.system == SystemKind::kBullshark ? "bullshark"
+                                                                        : "narwhal-hs";
   std::printf("seed %-8llu %-10s n=%-3u faults=%-2zu commits=%-5llu %s\n",
-              static_cast<unsigned long long>(schedule.seed),
-              schedule.system == SystemKind::kTusk ? "tusk" : "narwhal-hs",
+              static_cast<unsigned long long>(schedule.seed), system_name,
               schedule.validators, schedule.FaultCount(),
               static_cast<unsigned long long>(result.commits), result.Summary().c_str());
   for (const nt::Violation& v : result.violations) {
@@ -77,6 +79,7 @@ int main(int argc, char** argv) {
   bool shrink = true;
   bool bug_accept_2f = false;
   bool bug_skip_support = false;
+  bool bug_skip_bullshark = false;
   std::string replay_path;
   std::string corpus_path;
   std::string out_path;
@@ -101,6 +104,8 @@ int main(int argc, char** argv) {
         system = SystemKind::kTusk;
       } else if (v == "narwhal-hs") {
         system = SystemKind::kNarwhalHs;
+      } else if (v == "bullshark") {
+        system = SystemKind::kBullshark;
       } else if (v == "both") {
         both_systems = true;
       } else {
@@ -113,6 +118,8 @@ int main(int argc, char** argv) {
         bug_accept_2f = true;
       } else if (v == "skip_tusk_support") {
         bug_skip_support = true;
+      } else if (v == "skip_bullshark_support_votes") {
+        bug_skip_bullshark = true;
       } else {
         std::fprintf(stderr, "unknown bug '%s'\n", v.c_str());
         return 2;
@@ -132,10 +139,11 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: ntcheck [--seeds N] [--start S] [--system tusk|narwhal-hs|both]\n"
-                  "               [--bug accept_2f_certs|skip_tusk_support]\n"
-                  "               [--replay FILE] [--corpus FILE] [--no-shrink] [--out FILE]\n"
-                  "               [--jobs N]\n");
+      std::printf(
+          "usage: ntcheck [--seeds N] [--start S] [--system tusk|narwhal-hs|bullshark|both]\n"
+          "               [--bug accept_2f_certs|skip_tusk_support|skip_bullshark_support_votes]\n"
+          "               [--replay FILE] [--corpus FILE] [--no-shrink] [--out FILE]\n"
+          "               [--jobs N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
@@ -209,6 +217,13 @@ int main(int argc, char** argv) {
     return failures > 0 ? 1 : 0;
   }
 
+  // The seed draw never picks Bullshark (frozen at the historical two-way
+  // choice for corpus stability), so its mutation can only surface on pinned
+  // schedules: default the pin when the bug asks for it.
+  if (bug_skip_bullshark && !system.has_value() && !both_systems) {
+    system = SystemKind::kBullshark;
+  }
+
   auto run_seed = [&](uint64_t i) {
     uint64_t seed = start + i;
     std::optional<SystemKind> pin = system;
@@ -218,11 +233,12 @@ int main(int argc, char** argv) {
     FaultSchedule schedule = nt::GenerateSchedule(seed, pin);
     schedule.bug_accept_2f_certs = bug_accept_2f;
     schedule.bug_skip_tusk_support = bug_skip_support;
+    schedule.bug_skip_bullshark_support = bug_skip_bullshark;
     // Determinism self-check piggybacks on the first schedule of each batch.
     run_one(schedule, /*self_check=*/i == 0);
   };
 
-  if (jobs > 1 && (bug_accept_2f || bug_skip_support)) {
+  if (jobs > 1 && (bug_accept_2f || bug_skip_support || bug_skip_bullshark)) {
     std::fprintf(stderr, "note: --bug stops at the first violation; ignoring --jobs\n");
     jobs = 1;
   }
@@ -252,7 +268,7 @@ int main(int argc, char** argv) {
   } else {
     for (uint64_t i = 0; i < seeds; ++i) {
       run_seed(i);
-      if (failures > 0 && (bug_accept_2f || bug_skip_support)) {
+      if (failures > 0 && (bug_accept_2f || bug_skip_support || bug_skip_bullshark)) {
         break;  // Mutation mode: first caught violation proves the point.
       }
     }
