@@ -263,6 +263,7 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
   // Explicit ExecTx payloads so execution agreement checks real state: one
   // mint per validator account up front, then round-robin unit transfers.
   for (ValidatorId v = 0; v < n; ++v) {
+    // ntlint:allow(deferred-capture): cluster outlives the callbacks — RunUntil below drains the scheduler inside this stack frame
     scheduler.ScheduleAt(Millis(10), [&cluster, v] {
       cluster.worker(v, 0)->SubmitBlock({ExecTx::Mint(Account(v), 1000000).Encode()});
     });
@@ -271,6 +272,7 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
   for (TimePoint t = Millis(100); t < schedule.duration; t += schedule.tx_interval, ++k) {
     ValidatorId src = static_cast<ValidatorId>(k % n);
     ValidatorId dst = static_cast<ValidatorId>((k + 1) % n);
+    // ntlint:allow(deferred-capture): cluster outlives the callbacks — RunUntil below drains the scheduler inside this stack frame
     scheduler.ScheduleAt(t, [&cluster, src, dst] {
       cluster.worker(src, 0)->SubmitBlock(
           {ExecTx::Transfer(Account(src), Account(dst), 1).Encode()});
@@ -279,6 +281,7 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
   // Committed headers can execute before their batch data syncs; retry the
   // executors periodically so deferred headers drain within the run.
   for (TimePoint t = Millis(500); t < schedule.duration; t += Millis(500)) {
+    // ntlint:allow(deferred-capture): executors outlives the callbacks — RunUntil below drains the scheduler inside this stack frame
     scheduler.ScheduleAt(t, [&executors, n] {
       for (ValidatorId v = 0; v < n; ++v) {
         executors[v]->RetryPending();

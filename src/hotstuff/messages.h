@@ -73,6 +73,7 @@ struct MsgGossipTxs : Message {
 
   MsgGossipTxs(uint64_t n, uint64_t bytes) : num_txs(n), payload_bytes(bytes) {}
   size_t WireSize() const override { return 16 + payload_bytes; }
+  // ntlint:allow(registry-exhaustive): wire-accounting only — sized for bandwidth simulation, never dispatched by a handler
   MessageTypeId TypeId() const override { return MessageTypeId::kGossipTxs; }
 };
 

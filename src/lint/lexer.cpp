@@ -32,14 +32,33 @@ LexedFile Lex(const std::string& content) {
       ++i;
       continue;
     }
-    // Line comment.
+    // Line comment. A backslash immediately before the newline (optionally
+    // followed by \r on CRLF files) splices the comment onto the next source
+    // line, exactly like the preprocessor would.
     if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      int start_line = line;
       size_t start = i + 2;
       size_t end = start;
-      while (end < n && content[end] != '\n') {
+      std::string text;
+      while (end < n) {
+        if (content[end] == '\n') {
+          size_t back = end;
+          if (back > start && content[back - 1] == '\r') {
+            --back;
+          }
+          if (back > start && content[back - 1] == '\\') {
+            text.append(content, start, (back - 1) - start);
+            ++line;
+            start = end + 1;
+            end = start;
+            continue;
+          }
+          break;
+        }
         ++end;
       }
-      out.comments.push_back(Comment{line, content.substr(start, end - start)});
+      text.append(content, start, end - start);
+      out.comments.push_back(Comment{start_line, std::move(text)});
       i = end;
       continue;
     }
@@ -58,14 +77,27 @@ LexedFile Lex(const std::string& content) {
       i = (end + 1 < n) ? end + 2 : n;
       continue;
     }
-    // Raw string literal: R"delim( ... )delim".
+    // Raw string literal: [u8|u|U|L]R"delim( ... )delim". The encoding
+    // prefixes only matter so the delimiter scan starts after the quote.
+    size_t raw_prefix = 0;  // Chars before the opening quote; 0 = not raw.
     if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
-      size_t delim_start = i + 2;
+      raw_prefix = 1;
+    } else if (c == 'u' && i + 3 < n && content[i + 1] == '8' &&
+               content[i + 2] == 'R' && content[i + 3] == '"') {
+      raw_prefix = 3;
+    } else if ((c == 'u' || c == 'U' || c == 'L') && i + 2 < n &&
+               content[i + 1] == 'R' && content[i + 2] == '"') {
+      raw_prefix = 2;
+    }
+    if (raw_prefix > 0) {
+      size_t delim_start = i + raw_prefix + 1;
       size_t paren = delim_start;
       while (paren < n && content[paren] != '(') {
         ++paren;
       }
-      std::string closer = ")" + content.substr(delim_start, paren - delim_start) + "\"";
+      std::string closer(")");
+      closer.append(content, delim_start, paren - delim_start);
+      closer += '"';
       size_t end = content.find(closer, paren);
       if (end == std::string::npos) {
         end = n;

@@ -1,23 +1,18 @@
 #include "src/lint/lint.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "src/lint/lexer.h"
+#include "src/lint/model.h"
 #include "src/lint/rules.h"
 
 namespace nt {
 namespace lint {
 namespace {
-
-struct Allow {
-  int line = 0;
-  std::vector<std::string> rules;
-  std::string reason;
-  bool used = false;
-};
 
 std::string Trim(const std::string& s) {
   size_t b = s.find_first_not_of(" \t");
@@ -28,9 +23,78 @@ std::string Trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
-// Extracts `ntlint:allow(rule[,rule...]): reason` annotations from comments.
-std::vector<Allow> ParseAllows(const std::vector<Comment>& comments) {
-  std::vector<Allow> allows;
+bool IsSourceFile(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+// JSON string escaping for the SARIF emitter.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* RuleShortDescription(const std::string& rule) {
+  if (rule == kRuleNondet) {
+    return "Wall-clock, ambient-entropy or threading source outside the simulator";
+  }
+  if (rule == kRuleUnorderedIter) {
+    return "Unordered-container iteration order escapes into messages or state";
+  }
+  if (rule == kRuleQuorumArith) {
+    return "Literal quorum-threshold arithmetic outside the Committee helpers";
+  }
+  if (rule == kRuleCodecMismatch) {
+    return "Encode/Decode field op sequences drift";
+  }
+  if (rule == kRulePointerKey) {
+    return "Container ordered or keyed by raw pointer value";
+  }
+  if (rule == kRuleWalBeforeSend) {
+    return "Signed message sent without a prior Store::Sync durability barrier";
+  }
+  if (rule == kRuleRecoverParity) {
+    return "WAL Persist site and Recover arm field ops drift";
+  }
+  if (rule == kRuleDeferredCapture) {
+    return "Scheduler lambda captures by reference or reschedules with stale state";
+  }
+  if (rule == kRuleRegistryExhaustive) {
+    return "MessageTypeId missing a codec, handler or fuzz-corpus leg";
+  }
+  return "ntlint finding";
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllRuleNames() {
+  static const std::vector<std::string> names = {
+      kRuleNondet,        kRuleUnorderedIter, kRuleQuorumArith,
+      kRuleCodecMismatch, kRulePointerKey,    kRuleWalBeforeSend,
+      kRuleRecoverParity, kRuleDeferredCapture, kRuleRegistryExhaustive};
+  return names;
+}
+
+std::vector<AllowAnnotation> ParseAllows(const std::vector<Comment>& comments) {
+  std::vector<AllowAnnotation> allows;
   for (const Comment& c : comments) {
     size_t pos = c.text.find("ntlint:allow(");
     if (pos == std::string::npos) {
@@ -41,19 +105,17 @@ std::vector<Allow> ParseAllows(const std::vector<Comment>& comments) {
     if (close == std::string::npos) {
       continue;
     }
-    Allow a;
+    AllowAnnotation a;
     a.line = c.line;
     // Only known rule names count: documentation that merely quotes the
     // annotation syntax (e.g. "ntlint:allow(<rule>)") must not parse as a
     // live suppression, and a typo'd rule leaves the finding unsuppressed —
     // which surfaces the typo.
-    static const char* kKnownRules[] = {kRuleNondet, kRuleUnorderedIter, kRuleQuorumArith,
-                                        kRuleCodecMismatch, kRulePointerKey};
     std::stringstream rules(c.text.substr(open + 1, close - open - 1));
     std::string rule;
     while (std::getline(rules, rule, ',')) {
       rule = Trim(rule);
-      for (const char* known : kKnownRules) {
+      for (const std::string& known : AllRuleNames()) {
         if (rule == known) {
           a.rules.push_back(rule);
           break;
@@ -71,9 +133,7 @@ std::vector<Allow> ParseAllows(const std::vector<Comment>& comments) {
   return allows;
 }
 
-// Repo-relative path ("src/..." or "bench/...") so rule scoping works no
-// matter where the tool is invoked from.
-std::string RelPath(std::string path) {
+std::string RepoRelPath(std::string path) {
   std::replace(path.begin(), path.end(), '\\', '/');
   for (const char* anchor : {"/src/", "/bench/"}) {
     size_t pos = path.rfind(anchor);
@@ -84,34 +144,10 @@ std::string RelPath(std::string path) {
   return path;
 }
 
-bool IsSourceFile(const std::filesystem::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
-}
-
-}  // namespace
-
-FileReport LintSource(const std::string& path, const std::string& content) {
-  return LintSourceWithCompanion(path, content, nullptr);
-}
-
-FileReport LintSourceWithCompanion(const std::string& path, const std::string& content,
-                                   const std::string* companion_content) {
-  FileReport report;
-  report.path = path;
-  const std::string rel = RelPath(path);
-  LexedFile lex = Lex(content);
-  LexedFile companion;
-  if (companion_content != nullptr) {
-    companion = Lex(*companion_content);
-  }
-  std::vector<Finding> findings =
-      RunRules(rel, lex, companion_content != nullptr ? &companion : nullptr);
-  std::vector<Allow> allows = ParseAllows(lex.comments);
-
-  for (Finding& f : findings) {
-    f.path = path;
-    for (Allow& a : allows) {
+void ApplyAllows(std::vector<Finding>* findings, std::vector<AllowAnnotation>* allows,
+                 FileReport* report) {
+  for (Finding& f : *findings) {
+    for (AllowAnnotation& a : *allows) {
       // An annotation covers its own line (trailing comment) and the line
       // directly below it (annotation-above style).
       if (a.line != f.line && a.line + 1 != f.line) {
@@ -126,52 +162,40 @@ FileReport LintSourceWithCompanion(const std::string& path, const std::string& c
       break;
     }
   }
-  for (const Allow& a : allows) {
+  for (const AllowAnnotation& a : *allows) {
     if (!a.used) {
       std::string rules;
       for (const std::string& r : a.rules) {
         rules += (rules.empty() ? "" : ",") + r;
       }
-      report.unused_allows.emplace_back(a.line, rules);
+      report->unused_allows.emplace_back(a.line, rules);
     }
   }
-  report.findings = std::move(findings);
+}
+
+FileReport LintSource(const std::string& path, const std::string& content) {
+  return LintSourceWithCompanion(path, content, nullptr);
+}
+
+FileReport LintSourceWithCompanion(const std::string& path, const std::string& content,
+                                   const std::string* companion_content) {
+  // Per-file linting is pass 1 of the model pipeline, so a file linted alone
+  // and the same file linted as part of the repo agree by construction.
+  FileFacts facts = ExtractFacts(path, content, companion_content);
+  FileReport report;
+  report.path = path;
+  ApplyAllows(&facts.findings, &facts.allows, &report);
+  report.findings = std::move(facts.findings);
   return report;
 }
 
 FileReport LintFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    FileReport report;
-    report.path = path;
-    Finding f;
-    f.rule = "io-error";
-    f.path = path;
-    f.line = 0;
-    f.message = "cannot read file";
-    report.findings.push_back(std::move(f));
-    return report;
-  }
-  std::stringstream buf;
-  buf << in.rdbuf();
-
-  // For a .cpp, feed the sibling header's declarations to rule R2.
-  std::string companion_content;
-  bool have_companion = false;
-  std::filesystem::path p(path);
-  if (p.extension() == ".cpp" || p.extension() == ".cc") {
-    std::filesystem::path header = p;
-    header.replace_extension(".h");
-    std::ifstream hin(header, std::ios::binary);
-    if (hin) {
-      std::stringstream hbuf;
-      hbuf << hin.rdbuf();
-      companion_content = hbuf.str();
-      have_companion = true;
-    }
-  }
-  return LintSourceWithCompanion(path, buf.str(),
-                                 have_companion ? &companion_content : nullptr);
+  FileFacts facts = ExtractFactsFromDisk(path);
+  FileReport report;
+  report.path = path;
+  ApplyAllows(&facts.findings, &facts.allows, &report);
+  report.findings = std::move(facts.findings);
+  return report;
 }
 
 std::vector<std::string> CollectSourceFiles(const std::string& root) {
@@ -205,38 +229,19 @@ std::vector<std::string> CollectSourceFiles(const std::string& root) {
 }
 
 Summary LintPaths(const std::vector<std::string>& paths) {
-  Summary summary;
-  std::vector<std::string> files;
-  for (const std::string& p : paths) {
-    std::vector<std::string> collected = CollectSourceFiles(p);
-    files.insert(files.end(), collected.begin(), collected.end());
-  }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-  for (const std::string& f : files) {
-    FileReport report = LintFile(f);
-    for (const Finding& fnd : report.findings) {
-      ++summary.total;
-      if (fnd.suppressed) {
-        ++summary.suppressed;
-      }
-    }
-    if (!report.findings.empty() || !report.unused_allows.empty()) {
-      summary.files.push_back(std::move(report));
-    }
-  }
-  return summary;
+  return LintPathsWithCorpus(paths, "");
 }
 
 std::string FormatSummary(const Summary& summary, bool verbose) {
   std::ostringstream out;
   for (const FileReport& file : summary.files) {
     for (const Finding& f : file.findings) {
-      if (f.suppressed && !verbose) {
+      if ((f.suppressed || f.baselined) && !verbose) {
         continue;
       }
       out << f.path << ":" << f.line << ": [" << f.rule << "] "
-          << (f.suppressed ? "(suppressed) " : "") << f.message << "\n";
+          << (f.suppressed ? "(suppressed) " : (f.baselined ? "(baselined) " : ""))
+          << f.message << "\n";
     }
   }
   // The suppression budget is always visible: every allow annotation in
@@ -262,9 +267,118 @@ std::string FormatSummary(const Summary& summary, bool verbose) {
       out << "  " << file.path << ":" << line << " [" << rules << "]\n";
     }
   }
+  if (header_printed) {
+    out << "  stale by rule:";
+    for (const auto& [rule, count] : summary.stale_by_rule) {
+      out << " " << rule << "=" << count;
+    }
+    out << "\n";
+  }
   out << "\nntlint: " << summary.total << " finding(s), " << summary.suppressed
-      << " suppressed, " << summary.unsuppressed() << " unsuppressed\n";
+      << " suppressed, ";
+  if (summary.baselined > 0) {
+    out << summary.baselined << " baselined, ";
+  }
+  out << summary.unsuppressed() << " unsuppressed\n";
   return out.str();
+}
+
+std::string FormatSarif(const Summary& summary) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out << "  \"version\": \"2.1.0\",\n";
+  out << "  \"runs\": [\n    {\n";
+  out << "      \"tool\": {\n        \"driver\": {\n";
+  out << "          \"name\": \"ntlint\",\n";
+  out << "          \"informationUri\": \"https://example.invalid/ntlint\",\n";
+  out << "          \"rules\": [\n";
+  const std::vector<std::string>& rules = AllRuleNames();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\"id\": \"" << JsonEscape(rules[i]) << "\", \"shortDescription\": "
+        << "{\"text\": \"" << JsonEscape(RuleShortDescription(rules[i])) << "\"}}"
+        << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n        }\n      },\n";
+  out << "      \"results\": [";
+  bool first = true;
+  for (const FileReport& file : summary.files) {
+    for (const Finding& f : file.findings) {
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "        {\n";
+      out << "          \"ruleId\": \"" << JsonEscape(f.rule) << "\",\n";
+      out << "          \"level\": \"" << (f.suppressed || f.baselined ? "note" : "error")
+          << "\",\n";
+      out << "          \"message\": {\"text\": \"" << JsonEscape(f.message) << "\"},\n";
+      out << "          \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+          << "{\"uri\": \"" << JsonEscape(RepoRelPath(f.path)) << "\"}, \"region\": "
+          << "{\"startLine\": " << std::max(1, f.line) << "}}}]";
+      if (f.suppressed) {
+        out << ",\n          \"suppressions\": [{\"kind\": \"inSource\", \"justification\": \""
+            << JsonEscape(f.allow_reason.empty() ? "(no reason given)" : f.allow_reason)
+            << "\"}]";
+      } else if (f.baselined) {
+        out << ",\n          \"suppressions\": [{\"kind\": \"external\"}]";
+      }
+      out << "\n        }";
+    }
+  }
+  out << (first ? "]\n" : "\n      ]\n");
+  out << "    }\n  ]\n}\n";
+  return out.str();
+}
+
+std::string WriteBaseline(const Summary& summary) {
+  std::vector<std::string> lines;
+  for (const FileReport& file : summary.files) {
+    for (const Finding& f : file.findings) {
+      if (f.suppressed) {
+        continue;  // Inline-annotated findings need no grandfathering.
+      }
+      lines.push_back(f.rule + "\t" + RepoRelPath(f.path) + "\t" + f.message);
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out =
+      "# ntlint baseline: one \"rule<TAB>path<TAB>message\" per grandfathered finding.\n"
+      "# Lines match on content, not line number, so edits elsewhere do not churn it.\n";
+  for (const std::string& l : lines) {
+    out += l + "\n";
+  }
+  return out;
+}
+
+std::multiset<std::string> ParseBaseline(const std::string& text) {
+  std::multiset<std::string> entries;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    entries.insert(line);
+  }
+  return entries;
+}
+
+void MarkBaseline(Summary* summary, std::multiset<std::string> baseline) {
+  for (FileReport& file : summary->files) {
+    for (Finding& f : file.findings) {
+      if (f.suppressed) {
+        continue;
+      }
+      auto it = baseline.find(f.rule + "\t" + RepoRelPath(f.path) + "\t" + f.message);
+      if (it != baseline.end()) {
+        f.baselined = true;
+        ++summary->baselined;
+        baseline.erase(it);  // Each entry grandfathers at most one finding.
+      }
+    }
+  }
 }
 
 }  // namespace lint

@@ -4,7 +4,9 @@
 // function of its seed. PR 3's simulation harness *checks* that property
 // (double-run event-hash compare), but a fuzz pass can only tell you the
 // schedules it tried were deterministic. ntlint enforces the property's
-// preconditions at the source level, where violations are introduced:
+// preconditions at the source level, where violations are introduced.
+//
+// Per-file token-pattern rules (v1):
 //
 //   R1 nondet          banned wall-clock / ambient-entropy / threading
 //                      identifiers outside src/sim/ and bench/.
@@ -20,6 +22,25 @@
 //   R5 pointer-key     containers ordered or keyed by raw pointer value
 //                      (ASLR makes the order differ run to run).
 //
+// Whole-repo semantic-model rules (v2, src/lint/model.h):
+//
+//   R6 wal-before-send     a signed message leaves the node without a
+//                          Store::Sync() durability barrier earlier on the
+//                          path (checked through call-graph inlining) — the
+//                          double-vote-through-amnesia class.
+//   R7 recover-parity      the field ops a WAL-record Persist site writes
+//                          drift from what the matching Recover arm reads,
+//                          or a record tag has no Recover arm at all.
+//   R8 deferred-capture    a lambda handed to the Scheduler captures locals
+//                          by reference, or a retry's reschedule call fails
+//                          to carry mutated state by value (the
+//                          RetryBroadcast stale-attempt storm class).
+//   R9 registry-exhaustive a MessageTypeId with no registered message
+//                          struct, a registered struct with no handler
+//                          dispatch, a one-sided payload codec, or a
+//                          two-sided payload codec missing from the
+//                          fuzz_decode_test corpus.
+//
 // Findings are suppressable only with an inline annotation on the same line
 // or the line above:
 //
@@ -30,8 +51,13 @@
 #ifndef SRC_LINT_LINT_H_
 #define SRC_LINT_LINT_H_
 
+#include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "src/lint/lexer.h"
 
 namespace nt {
 namespace lint {
@@ -42,6 +68,14 @@ inline constexpr const char* kRuleUnorderedIter = "unordered-iter";
 inline constexpr const char* kRuleQuorumArith = "quorum-arith";
 inline constexpr const char* kRuleCodecMismatch = "codec-mismatch";
 inline constexpr const char* kRulePointerKey = "pointer-key";
+inline constexpr const char* kRuleWalBeforeSend = "wal-before-send";
+inline constexpr const char* kRuleRecoverParity = "recover-parity";
+inline constexpr const char* kRuleDeferredCapture = "deferred-capture";
+inline constexpr const char* kRuleRegistryExhaustive = "registry-exhaustive";
+
+// Every rule id, in R1..R9 order (drives allow parsing, SARIF metadata and
+// the per-rule stale-allow accounting).
+const std::vector<std::string>& AllRuleNames();
 
 struct Finding {
   std::string rule;
@@ -50,12 +84,21 @@ struct Finding {
   std::string message;
   bool suppressed = false;
   std::string allow_reason;  // Set when suppressed.
+  bool baselined = false;    // Matched a --baseline entry (grandfathered).
+};
+
+// One `ntlint:allow(...)` annotation, parsed from a comment.
+struct AllowAnnotation {
+  int line = 0;
+  std::vector<std::string> rules;
+  std::string reason;
+  bool used = false;
 };
 
 struct FileReport {
   std::string path;
   std::vector<Finding> findings;  // Ordered by line.
-  // Annotations that matched no finding (likely stale) — reported, not fatal.
+  // Annotations that matched no finding (stale) as (line, "rule,rule").
   std::vector<std::pair<int, std::string>> unused_allows;
 };
 
@@ -63,12 +106,40 @@ struct Summary {
   std::vector<FileReport> files;
   int total = 0;
   int suppressed = 0;
+  int baselined = 0;
+  // Stale allow annotations bucketed per rule name they mention.
+  std::map<std::string, int> stale_by_rule;
+  int stale_allows() const {
+    int n = 0;
+    for (const auto& [rule, count] : stale_by_rule) {
+      n += count;
+    }
+    return n;
+  }
   int unsuppressed() const { return total - suppressed; }
+  // What actually gates the build: neither suppressed nor grandfathered.
+  int actionable() const { return total - suppressed - baselined; }
 };
+
+// Extracts `ntlint:allow(rule[,rule...]): reason` annotations from comments.
+// Unknown rule names are dropped (a typo'd rule leaves the finding live).
+std::vector<AllowAnnotation> ParseAllows(const std::vector<Comment>& comments);
+
+// Repo-relative path ("src/..." or "bench/...") so rule scoping works no
+// matter where the tool is invoked from.
+std::string RepoRelPath(std::string path);
+
+// Applies allow annotations to `findings` (marks suppressed / used) and
+// records the stale ones on the report. Shared by the per-file and the
+// whole-repo drivers so suppression semantics cannot drift.
+void ApplyAllows(std::vector<Finding>* findings, std::vector<AllowAnnotation>* allows,
+                 FileReport* report);
 
 // Lints one translation unit given as an in-memory string. `path` determines
 // which rules apply (rule scoping is by directory, see rules.cpp); it does
 // not have to exist on disk — tests lint synthetic fixtures this way.
+// Runs the per-file rules (R1–R5, R8) only; the cross-file rules need the
+// whole-repo model (model.h: LintRepoUnits / LintPaths).
 FileReport LintSource(const std::string& path, const std::string& content);
 
 // As LintSource, with the sibling header's content supplied so rule R2 can
@@ -85,11 +156,35 @@ FileReport LintFile(const std::string& path);
 // reproducible. Hidden directories and build trees ("build*") are skipped.
 std::vector<std::string> CollectSourceFiles(const std::string& root);
 
-// Lints every path (files or directories) and aggregates.
+// Lints every path (files or directories) and aggregates, including the
+// whole-repo semantic-model rules R6–R9 (implemented in model.cpp).
 Summary LintPaths(const std::vector<std::string>& paths);
 
 // Renders findings + the suppression report to a string (the CLI output).
 std::string FormatSummary(const Summary& summary, bool verbose);
+
+// Renders the summary as a SARIF 2.1.0 log (one run, rules R1–R9 declared in
+// tool.driver.rules; suppressed findings carry an inSource suppression,
+// baselined ones an external suppression).
+std::string FormatSarif(const Summary& summary);
+
+// ---- baseline support ------------------------------------------------------
+// A baseline grandfathers the findings present when a rule is introduced so
+// the rule can land without a flag day. Entries match on (rule, repo-relative
+// path, message) — deliberately not the line number, which churns on every
+// edit.
+
+// One line per finding: "rule\tpath\tmessage", sorted. Round-trips through
+// ParseBaseline.
+std::string WriteBaseline(const Summary& summary);
+
+// Parses WriteBaseline output (or a hand-edited file). Blank lines and lines
+// starting with '#' are skipped.
+std::multiset<std::string> ParseBaseline(const std::string& text);
+
+// Marks every unsuppressed finding with a matching baseline entry as
+// baselined (each entry is consumed at most once) and updates the counters.
+void MarkBaseline(Summary* summary, std::multiset<std::string> baseline);
 
 }  // namespace lint
 }  // namespace nt

@@ -32,6 +32,7 @@ TEST(FuzzDecodeTest, RandomGarbageNeverCrashes) {
   for (int i = 0; i < 2000; ++i) {
     Bytes garbage = RandomBytes(rng, 512);
     DecodeGarbage<Batch>(garbage);
+    DecodeGarbage<BatchRef>(garbage);
     DecodeGarbage<Certificate>(garbage);
     DecodeGarbage<BlockHeader>(garbage);
     DecodeGarbage<Vote>(garbage);

@@ -1,0 +1,139 @@
+// The ntlint lexer is the foundation every rule stands on: a literal that is
+// mis-tokenized turns into phantom identifiers (false positives) or swallows
+// real code (false negatives). These cases pin the C++ literal forms the real
+// tree uses — raw strings with and without encoding prefixes and delimiters,
+// digit separators, and preprocessor-style line-spliced comments.
+#include "src/lint/lexer.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace nt {
+namespace lint {
+namespace {
+
+// First token of the given kind, or nullptr.
+const Token* FirstOf(const LexedFile& lex, TokKind kind) {
+  for (const Token& t : lex.tokens) {
+    if (t.kind == kind) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+int CountIdent(const LexedFile& lex, const std::string& text) {
+  int n = 0;
+  for (const Token& t : lex.tokens) {
+    if (t.kind == TokKind::kIdent && t.text == text) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(Lexer, RawStringSwallowsQuotesAndCode) {
+  LexedFile lex = Lex("auto s = R\"(rand() \"quoted\" getenv)\"; after();\n");
+  // Everything inside the raw string is literal text, not tokens.
+  EXPECT_EQ(CountIdent(lex, "rand"), 0);
+  EXPECT_EQ(CountIdent(lex, "getenv"), 0);
+  EXPECT_EQ(CountIdent(lex, "after"), 1);
+  const Token* str = FirstOf(lex, TokKind::kString);
+  ASSERT_NE(str, nullptr);
+  EXPECT_EQ(str->text, "R\"(rand() \"quoted\" getenv)\"");
+}
+
+TEST(Lexer, RawStringCustomDelimiterStopsOnlyAtItsCloser) {
+  // A plain )" inside the body must not close a delimited raw string.
+  LexedFile lex = Lex("auto s = R\"x(body )\" still body)x\"; tail();\n");
+  EXPECT_EQ(CountIdent(lex, "body"), 0);
+  EXPECT_EQ(CountIdent(lex, "tail"), 1);
+}
+
+TEST(Lexer, PrefixedRawStringsAreSingleLiterals) {
+  LexedFile lex = Lex(
+      "auto a = u8R\"(rand())\";\n"
+      "auto b = uR\"(rand())\";\n"
+      "auto c = UR\"(rand())\";\n"
+      "auto d = LR\"(rand())\";\n");
+  // The encoding prefix must not be split off as an identifier that leaves
+  // the raw string unrecognized (which would leak `rand` tokens).
+  EXPECT_EQ(CountIdent(lex, "rand"), 0);
+  EXPECT_EQ(CountIdent(lex, "u8R"), 0);
+  EXPECT_EQ(CountIdent(lex, "uR"), 0);
+  int strings = 0;
+  for (const Token& t : lex.tokens) {
+    strings += t.kind == TokKind::kString ? 1 : 0;
+  }
+  EXPECT_EQ(strings, 4);
+}
+
+TEST(Lexer, MultiLineRawStringKeepsLineNumbersForLaterTokens) {
+  LexedFile lex = Lex("auto s = R\"(one\ntwo\nthree)\";\nint marker = 0;\n");
+  bool found = false;
+  for (const Token& t : lex.tokens) {
+    if (t.kind == TokKind::kIdent && t.text == "marker") {
+      EXPECT_EQ(t.line, 4);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lexer, DigitSeparatorsStayOneNumberToken) {
+  LexedFile lex = Lex("uint64_t n = 1'000'000; uint32_t h = 0xFF'00;\n");
+  int numbers = 0;
+  for (const Token& t : lex.tokens) {
+    if (t.kind == TokKind::kNumber) {
+      ++numbers;
+    }
+    // The separator must not open a char literal that eats the rest.
+    EXPECT_NE(t.kind, TokKind::kChar);
+  }
+  EXPECT_EQ(numbers, 2);
+  const Token* num = FirstOf(lex, TokKind::kNumber);
+  ASSERT_NE(num, nullptr);
+  EXPECT_EQ(num->text, "1'000'000");
+}
+
+TEST(Lexer, CharLiteralStillLexesAfterNumbers) {
+  LexedFile lex = Lex("w.PutU8('V'); int x = 3;\n");
+  const Token* ch = FirstOf(lex, TokKind::kChar);
+  ASSERT_NE(ch, nullptr);
+  EXPECT_EQ(ch->text, "'V'");
+}
+
+TEST(Lexer, LineSplicedCommentMergesContinuationLines) {
+  // A backslash-newline splices the comment onto the next line, exactly like
+  // the preprocessor: the identifiers on the continuation are comment text,
+  // not code.
+  LexedFile lex = Lex("// first part \\\nsecond part\nint live = 0;\n");
+  ASSERT_EQ(lex.comments.size(), 1u);
+  EXPECT_NE(lex.comments[0].text.find("second part"), std::string::npos);
+  EXPECT_EQ(CountIdent(lex, "second"), 0);
+  EXPECT_EQ(CountIdent(lex, "live"), 1);
+  for (const Token& t : lex.tokens) {
+    if (t.kind == TokKind::kIdent && t.text == "live") {
+      EXPECT_EQ(t.line, 3);
+    }
+  }
+}
+
+TEST(Lexer, CrlfSplicedCommentAlsoMerges) {
+  LexedFile lex = Lex("// head \\\r\ntail\r\nint live = 0;\r\n");
+  ASSERT_EQ(lex.comments.size(), 1u);
+  EXPECT_NE(lex.comments[0].text.find("tail"), std::string::npos);
+  EXPECT_EQ(CountIdent(lex, "tail"), 0);
+}
+
+TEST(Lexer, UnsplicedCommentStopsAtNewline) {
+  LexedFile lex = Lex("// just a comment\nint live = 0;\n");
+  ASSERT_EQ(lex.comments.size(), 1u);
+  EXPECT_EQ(lex.comments[0].text, " just a comment");  // Text after the //.
+  EXPECT_EQ(CountIdent(lex, "live"), 1);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace nt

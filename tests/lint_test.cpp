@@ -1,13 +1,21 @@
-// ntlint fixture corpus: every rule R1–R5 is proven to fire on positive
+// ntlint fixture corpus: every rule R1–R9 is proven to fire on positive
 // snippets and stay silent on negatives, the allow-annotation machinery is
 // exercised end to end, and the real tree is linted so the suite fails the
 // moment a violation (or a stale suppression) lands in src/.
+//
+// R1–R5 and R8 are per-file (LintSource); R6/R7/R9 need the whole-repo
+// semantic model, so their fixtures are multi-unit repos fed through
+// LintRepoUnits. The positive shapes reproduce the bug classes this repo
+// has actually shipped: the PR 6 double-vote guard (R6), crash–restart
+// amnesia (R7), and the PR 2 RetryBroadcast stale-attempt storm (R8).
 #include "src/lint/lint.h"
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 
 #include "gtest/gtest.h"
+#include "src/lint/model.h"
 
 namespace nt {
 namespace lint {
@@ -382,6 +390,635 @@ std::unordered_set<Callback*> live_;
   EXPECT_EQ(CountRule(r, kRulePointerKey), 1);
 }
 
+// Counts findings for one rule across a whole-repo Summary.
+int CountRuleIn(const Summary& s, const char* rule, bool include_suppressed = true) {
+  int n = 0;
+  for (const FileReport& f : s.files) {
+    for (const Finding& fnd : f.findings) {
+      if (fnd.rule == rule && (include_suppressed || !fnd.suppressed)) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+const Finding* FirstRuleIn(const Summary& s, const char* rule) {
+  for (const FileReport& f : s.files) {
+    for (const Finding& fnd : f.findings) {
+      if (fnd.rule == rule) {
+        return &fnd;
+      }
+    }
+  }
+  return nullptr;
+}
+
+// -------------------------------------------------------- R6 wal-before-send
+
+TEST(WalBeforeSendRule, CrossFilePersistHelperWithoutSyncFires) {
+  // The PR 6 bug shape: the vote ledger append lives in another file and
+  // forgets the Sync barrier, so the signature leaves before the WAL is
+  // durable. A per-file rule cannot see this; the model inlines the helper.
+  Summary s = LintRepoUnits(
+      {{"src/hotstuff/node.cpp", R"(
+void Node::CastVote(const Digest& d) {
+  PersistVote();
+  Signature sig = signer_->Sign(d);
+  network_->Send(net_id_, peer_, MakeVote(d, sig));
+}
+)"},
+       {"src/hotstuff/persist.cpp", R"(
+void Node::PersistVote() {
+  store_->Put(VoteKey(), EncodeLedger(last_voted_));
+}
+)"}},
+      nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleWalBeforeSend), 1);
+  const Finding* f = FirstRuleIn(s, kRuleWalBeforeSend);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->path.find("node.cpp"), std::string::npos);
+  EXPECT_EQ(f->line, 5);  // The Send, not the helper.
+}
+
+TEST(WalBeforeSendRule, SignThenBroadcastWithNoBarrierFires) {
+  Summary s = LintRepoUnits({{"src/narwhal/node.cpp", R"(
+void Node::OnTimeout(uint64_t view) {
+  Signature sig = signer_->Sign(Preimage(view));
+  Broadcast(MakeTimeout(view, sig));
+}
+)"}},
+                            nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleWalBeforeSend), 1);
+}
+
+TEST(WalBeforeSendRule, PersistHelperWithSyncIsSilent) {
+  Summary s = LintRepoUnits(
+      {{"src/hotstuff/node.cpp", R"(
+void Node::CastVote(const Digest& d) {
+  PersistVote();
+  Signature sig = signer_->Sign(d);
+  network_->Send(net_id_, peer_, MakeVote(d, sig));
+}
+)"},
+       {"src/hotstuff/persist.cpp", R"(
+void Node::PersistVote() {
+  store_->Put(VoteKey(), EncodeLedger(last_voted_));
+  store_->Sync();
+}
+)"}},
+      nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleWalBeforeSend), 0);
+}
+
+TEST(WalBeforeSendRule, DispatchBranchSendDoesNotInheritHandlerSignature) {
+  // OnMessage-style dispatchers: the reply Send and the signing handler live
+  // in mutually exclusive branches. Inlined effects must not smear them into
+  // one false sign-then-send sequence.
+  Summary s = LintRepoUnits({{"src/hotstuff/node.cpp", R"(
+void Node::OnMessage(uint32_t from, const MessagePtr& m) {
+  if (auto t = std::dynamic_pointer_cast<const MsgTimeout>(m)) {
+    HandleTimeout(*t);
+    return;
+  }
+  network_->Send(net_id_, from, MakeReply());
+}
+void Node::HandleTimeout(const MsgTimeout& t) {
+  Signature sig = signer_->Sign(p_);
+  Absorb(sig);
+}
+)"}},
+                            nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleWalBeforeSend), 0);
+}
+
+TEST(WalBeforeSendRule, DeepCallerOfCleanFunctionDoesNotReFlag) {
+  // A two-deep caller chain must not re-report a callee whose own path is
+  // correct: the depth cutoff would otherwise drop the callee's persist
+  // helper and flag its send line from every wrapper.
+  Summary s = LintRepoUnits({{"src/hotstuff/node.cpp", R"(
+void Node::EnterRound() { SchedulePropose(); }
+void Node::SchedulePropose() { Propose(); }
+void Node::Propose() {
+  store_->Sync();
+  Signature sig = signer_->Sign(d_);
+  Broadcast(MakeProposal(sig));
+}
+)"}},
+                            nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleWalBeforeSend), 0);
+}
+
+TEST(WalBeforeSendRule, OutsideProtocolDirsIsSilent) {
+  Summary s = LintRepoUnits({{"src/exec/node.cpp", R"(
+void Node::Emit(const Digest& d) {
+  Signature sig = signer_->Sign(d);
+  Broadcast(Make(sig));
+}
+)"}},
+                            nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleWalBeforeSend), 0);
+}
+
+TEST(WalBeforeSendRule, AllowAnnotationSuppresses) {
+  Summary s = LintRepoUnits({{"src/narwhal/node.cpp", R"(
+void Node::OnTimeout(uint64_t view) {
+  Signature sig = signer_->Sign(Preimage(view));
+  // ntlint:allow(wal-before-send): deterministic re-sign of the same preimage
+  Broadcast(MakeTimeout(view, sig));
+}
+)"}},
+                            nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleWalBeforeSend), 1);
+  EXPECT_EQ(CountRuleIn(s, kRuleWalBeforeSend, /*include_suppressed=*/false), 0);
+  EXPECT_EQ(s.unsuppressed(), 0);
+}
+
+// --------------------------------------------------------- R7 recover-parity
+
+TEST(RecoverParityRule, CrossFileOpDriftFires) {
+  // Crash–restart amnesia: Persist writes view + digest, Recover reads only
+  // the view — the digest silently never comes back after a restart.
+  Summary s = LintRepoUnits(
+      {{"src/hotstuff/persist.cpp", R"(
+void Node::PersistVote() {
+  Writer w;
+  w.PutU8('W');
+  w.PutU64(last_voted_view_);
+  w.PutRaw(last_voted_digest_);
+  store_->Put(VoteKey(), w.Take());
+  store_->Sync();
+}
+)"},
+       {"src/hotstuff/recover.cpp", R"(
+void Node::Recover(const Bytes& value) {
+  Reader r(value.data() + 1, value.size() - 1);
+  switch (value[0]) {
+    case 'W': {
+      last_voted_view_ = r.GetU64();
+      break;
+    }
+  }
+}
+)"}},
+      nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleRecoverParity), 1);
+  const Finding* f = FirstRuleIn(s, kRuleRecoverParity);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->path.find("recover.cpp"), std::string::npos);
+}
+
+TEST(RecoverParityRule, PersistedTagWithNoRecoverArmFires) {
+  Summary s = LintRepoUnits({{"src/narwhal/persist.cpp", R"(
+void Node::PersistHeader(const Header& h) {
+  Writer w;
+  w.PutU8('H');
+  w.PutU64(h.round);
+  store_->Put(HeaderKey(h), w.Take());
+}
+)"}},
+                            nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleRecoverParity), 1);
+  const Finding* f = FirstRuleIn(s, kRuleRecoverParity);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->path.find("persist.cpp"), std::string::npos);
+}
+
+TEST(RecoverParityRule, FieldKindDriftFires) {
+  Summary s = LintRepoUnits({{"src/tusk/wal.cpp", R"(
+void Node::PersistRound() {
+  Writer w;
+  w.PutU8('R');
+  w.PutU32(round_);
+  store_->Put(RoundKey(), w.Take());
+}
+void Node::Recover(const Bytes& value) {
+  Reader r(value.data() + 1, value.size() - 1);
+  switch (value[0]) {
+    case 'R':
+      round_ = r.GetU64();
+      break;
+  }
+}
+)"}},
+                            nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleRecoverParity), 1);
+}
+
+TEST(RecoverParityRule, DeadRecoverArmFires) {
+  Summary s = LintRepoUnits({{"src/tusk/wal.cpp", R"(
+void Node::PersistRound() {
+  Writer w;
+  w.PutU8('R');
+  w.PutU64(round_);
+  store_->Put(RoundKey(), w.Take());
+}
+void Node::Recover(const Bytes& value) {
+  Reader r(value.data() + 1, value.size() - 1);
+  switch (value[0]) {
+    case 'R':
+      round_ = r.GetU64();
+      break;
+    case 'Z':
+      legacy_ = r.GetU64();
+      break;
+  }
+}
+)"}},
+                            nullptr);
+  // 'R' matches; 'Z' recovers a record nothing ever persists.
+  EXPECT_EQ(CountRuleIn(s, kRuleRecoverParity), 1);
+}
+
+TEST(RecoverParityRule, MatchingPairIsSilent) {
+  Summary s = LintRepoUnits(
+      {{"src/hotstuff/persist.cpp", R"(
+void Node::PersistVote() {
+  Writer w;
+  w.PutU8('W');
+  w.PutU64(last_voted_view_);
+  w.PutRaw(last_voted_digest_);
+  store_->Put(VoteKey(), w.Take());
+  store_->Sync();
+}
+)"},
+       {"src/hotstuff/recover.cpp", R"(
+void Node::Recover(const Bytes& value) {
+  Reader r(value.data() + 1, value.size() - 1);
+  switch (value[0]) {
+    case 'W': {
+      last_voted_view_ = r.GetU64();
+      last_voted_digest_ = r.GetArray<32>();
+      break;
+    }
+  }
+}
+)"}},
+      nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleRecoverParity), 0);
+}
+
+TEST(RecoverParityRule, GuardFormRecoverMatches) {
+  Summary s = LintRepoUnits({{"src/narwhal/wal.cpp", R"(
+void Node::PersistBatch(const Batch& b) {
+  Writer w;
+  w.PutU8('B');
+  w.PutU64(b.seq);
+  store_->Put(BatchKey(b), w.Take());
+}
+void Node::Recover(const Bytes& value) {
+  if (value.empty()) {
+    return;
+  }
+  if (value[0] == 'B') {
+    Reader r(value.data() + 1, value.size() - 1);
+    seq_ = r.GetU64();
+  }
+}
+)"}},
+                            nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleRecoverParity), 0);
+}
+
+// -------------------------------------------------------- R8 deferred-capture
+
+TEST(DeferredCaptureRule, NamedReferenceCaptureFires) {
+  FileReport r = LintSource("src/check/driver.cpp", R"(
+void Run(Scheduler& scheduler, Acc& acc) {
+  scheduler.ScheduleAt(Millis(10), [&acc] { acc.Add(1); });
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleDeferredCapture), 1);
+  EXPECT_NE(r.findings[0].message.find("'acc'"), std::string::npos);
+}
+
+TEST(DeferredCaptureRule, DefaultReferenceCaptureFires) {
+  FileReport r = LintSource("src/narwhal/worker.cpp", R"(
+void Worker::Arm() {
+  network_->scheduler()->ScheduleAfter(delay_, [&] { Tick(); });
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleDeferredCapture), 1);
+}
+
+TEST(DeferredCaptureRule, StaleLiteralSelfRescheduleFires) {
+  // The PR 2 RetryBroadcast storm: the retry re-arms itself with attempt 0
+  // instead of the captured counter, so the backoff never grows.
+  FileReport r = LintSource("src/narwhal/primary.cpp", R"(
+void Primary::RetryBroadcast(Digest d, int attempt) {
+  network_->scheduler()->ScheduleAfter(Backoff(attempt), [this, alive = alive_, d] {
+    if (*alive) {
+      RetryBroadcast(d, 0);
+    }
+  });
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleDeferredCapture), 1);
+}
+
+TEST(DeferredCaptureRule, ValueCapturedRetryIsSilent) {
+  // The worker's RetryBatch shape: everything crosses the deferral by value.
+  FileReport r = LintSource("src/narwhal/worker.cpp", R"(
+void Worker::RetryBatch(const Digest& digest) {
+  network_->scheduler()->ScheduleAfter(delay_, [this, alive = alive_, digest] {
+    if (*alive) {
+      RetryBatch(digest);
+    }
+  });
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleDeferredCapture), 0);
+}
+
+TEST(DeferredCaptureRule, IncrementedAttemptIsSilent) {
+  FileReport r = LintSource("src/narwhal/worker.cpp", R"(
+void Worker::RetryFetch(Digest d, int attempt) {
+  network_->scheduler()->ScheduleAfter(Backoff(attempt), [this, alive = alive_, d, attempt] {
+    if (*alive) {
+      RetryFetch(d, attempt + 1);
+    }
+  });
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleDeferredCapture), 0);
+}
+
+TEST(DeferredCaptureRule, MemberStateRescheduleIsSilent) {
+  // The HotStuff RequestBlock shape: rotation state lives in members reached
+  // through the captured `this` — members are the source of truth, there is
+  // no stale copy to flag.
+  FileReport r = LintSource("src/hotstuff/hotstuff.cpp", R"(
+void HotStuff::RequestBlock(const Digest& digest, uint32_t peer) {
+  network_->scheduler()->ScheduleAfter(delay_, [this, alive = alive_, digest] {
+    if (*alive) {
+      RequestBlock(digest, peers_[(id_ + 1 + fetch_rotation_++) % committee_.size()]);
+    }
+  });
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleDeferredCapture), 0);
+}
+
+TEST(DeferredCaptureRule, AllowAnnotationSuppresses) {
+  FileReport r = LintSource("src/check/driver.cpp", R"(
+void Run(Scheduler& scheduler, Acc& acc) {
+  // ntlint:allow(deferred-capture): acc outlives the drained scheduler
+  scheduler.ScheduleAt(Millis(10), [&acc] { acc.Add(1); });
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleDeferredCapture), 1);
+  EXPECT_EQ(CountRule(r, kRuleDeferredCapture, /*include_suppressed=*/false), 0);
+}
+
+// ----------------------------------------------------- R9 registry-exhaustive
+
+// A fully wired three-unit fixture repo; the positive tests below each break
+// one leg of it.
+std::vector<SourceUnit> WiredRegistry() {
+  return {
+      {"src/hotstuff/messages.h", R"(
+enum class MessageTypeId : uint8_t {
+  kPing = 1,
+  kPong = 2,
+  kCount,
+};
+struct MsgPing : Message {
+  BatchInfo info;
+  MessageTypeId TypeId() const override { return MessageTypeId::kPing; }
+};
+struct MsgPong : Message {
+  MessageTypeId TypeId() const override { return MessageTypeId::kPong; }
+};
+)"},
+      {"src/hotstuff/node.cpp", R"(
+void Node::OnMessage(const MessagePtr& m) {
+  if (auto p = std::dynamic_pointer_cast<const MsgPing>(m)) {
+    HandlePing(*p);
+    return;
+  }
+  if (auto p = std::dynamic_pointer_cast<const MsgPong>(m)) {
+    HandlePong(*p);
+    return;
+  }
+}
+)"},
+      {"src/types/info.cpp", R"(
+void BatchInfo::Encode(Writer& w) const {
+  w.PutU64(seq);
+}
+BatchInfo BatchInfo::Decode(Reader& r) {
+  BatchInfo b;
+  b.seq = r.GetU64();
+  return b;
+}
+)"}};
+}
+
+TEST(RegistryExhaustiveRule, FullyWiredRegistryIsSilent) {
+  Summary s = LintRepoUnits(WiredRegistry(), nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleRegistryExhaustive), 0);
+}
+
+TEST(RegistryExhaustiveRule, EnumeratorWithoutRegistrationFires) {
+  std::vector<SourceUnit> units = WiredRegistry();
+  units[0].content = R"(
+enum class MessageTypeId : uint8_t {
+  kPing = 1,
+  kPong = 2,
+  kOrphan = 3,
+  kCount,
+};
+struct MsgPing : Message {
+  BatchInfo info;
+  MessageTypeId TypeId() const override { return MessageTypeId::kPing; }
+};
+struct MsgPong : Message {
+  MessageTypeId TypeId() const override { return MessageTypeId::kPong; }
+};
+)";
+  Summary s = LintRepoUnits(units, nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleRegistryExhaustive), 1);
+  const Finding* f = FirstRuleIn(s, kRuleRegistryExhaustive);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("kOrphan"), std::string::npos);
+}
+
+TEST(RegistryExhaustiveRule, RegisteredStructNeverDispatchedFires) {
+  std::vector<SourceUnit> units = WiredRegistry();
+  units[1].content = R"(
+void Node::OnMessage(const MessagePtr& m) {
+  if (auto p = std::dynamic_pointer_cast<const MsgPing>(m)) {
+    HandlePing(*p);
+    return;
+  }
+}
+)";
+  Summary s = LintRepoUnits(units, nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleRegistryExhaustive), 1);
+  const Finding* f = FirstRuleIn(s, kRuleRegistryExhaustive);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("MsgPong"), std::string::npos);
+}
+
+TEST(RegistryExhaustiveRule, OneSidedPayloadCodecFires) {
+  std::vector<SourceUnit> units = WiredRegistry();
+  units[2].content = R"(
+void BatchInfo::Encode(Writer& w) const {
+  w.PutU64(seq);
+}
+)";
+  Summary s = LintRepoUnits(units, nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleRegistryExhaustive), 1);
+  const Finding* f = FirstRuleIn(s, kRuleRegistryExhaustive);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("BatchInfo"), std::string::npos);
+}
+
+TEST(RegistryExhaustiveRule, CorpusLegFiresOnlyWithCorpus) {
+  // Without a corpus the leg is skipped (subset lints must not false-alarm);
+  // with one, a two-sided payload codec must appear in it.
+  const std::string without = "DecodeGarbage<Other>(garbage);\n";
+  const std::string with = "DecodeGarbage<Other>(garbage);\nDecodeGarbage<BatchInfo>(garbage);\n";
+  EXPECT_EQ(CountRuleIn(LintRepoUnits(WiredRegistry(), nullptr), kRuleRegistryExhaustive), 0);
+  EXPECT_EQ(CountRuleIn(LintRepoUnits(WiredRegistry(), &without), kRuleRegistryExhaustive), 1);
+  EXPECT_EQ(CountRuleIn(LintRepoUnits(WiredRegistry(), &with), kRuleRegistryExhaustive), 0);
+}
+
+TEST(RegistryExhaustiveRule, SubsetWithoutDispatchSiteStaysSilent) {
+  // Linting only the header (no handler casts anywhere in the lint set) must
+  // not claim every message is undispatched — the guard requires all three
+  // registry legs to be present before the rule speaks.
+  std::vector<SourceUnit> units = {WiredRegistry()[0]};
+  Summary s = LintRepoUnits(units, nullptr);
+  EXPECT_EQ(CountRuleIn(s, kRuleRegistryExhaustive), 0);
+}
+
+// ----------------------------------------- facts round-trip (--jobs pipeline)
+
+TEST(FactsRoundTrip, SerializeParseSerializeIsIdentity) {
+  const std::string content = R"(
+void Node::OnTimeout(uint64_t view) {
+  Signature sig = signer_->Sign(Preimage(view));
+  // ntlint:allow(wal-before-send): reason with	tab and \ backslash
+  Broadcast(MakeTimeout(view, sig));
+}
+void Node::PersistRound() {
+  Writer w;
+  w.PutU8('R');
+  w.PutU64(round_);
+  store_->Put(RoundKey(), w.Take());
+}
+uint32_t q = 2 * f + 1;
+)";
+  FileFacts f = ExtractFacts("src/narwhal/node.cpp", content, nullptr);
+  const std::string text = SerializeFacts(f);
+  std::vector<FileFacts> parsed;
+  ASSERT_TRUE(ParseFacts(text, &parsed));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(SerializeFacts(parsed[0]), text);
+  EXPECT_EQ(parsed[0].path, f.path);
+  EXPECT_EQ(parsed[0].functions.size(), f.functions.size());
+  EXPECT_EQ(parsed[0].persists.size(), f.persists.size());
+  EXPECT_EQ(parsed[0].allows.size(), f.allows.size());
+}
+
+TEST(FactsRoundTrip, MalformedInputIsRejected) {
+  std::vector<FileFacts> parsed;
+  EXPECT_FALSE(ParseFacts("X\tgarbage\n", &parsed));
+  EXPECT_FALSE(ParseFacts("F\ttoo\tfew\n", &parsed));
+}
+
+// ------------------------------------------------------------- SARIF + baseline
+
+TEST(SarifOutput, DeclaresRulesAndMarksSuppressions) {
+  Summary s = LintRepoUnits({{"src/narwhal/node.cpp", R"(
+void Node::OnTimeout(uint64_t view) {
+  Signature sig = signer_->Sign(Preimage(view));
+  Broadcast(MakeTimeout(view, sig));
+}
+// ntlint:allow(quorum-arith): fixture exception
+uint32_t q = 2 * f + 1;
+)"}},
+                            nullptr);
+  const std::string sarif = FormatSarif(s);
+  EXPECT_NE(sarif.find("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""),
+            std::string::npos);
+  for (const std::string& rule : AllRuleNames()) {
+    EXPECT_NE(sarif.find("{\"id\": \"" + rule + "\""), std::string::npos) << rule;
+  }
+  // The live finding is an error; the suppressed one is a note with an
+  // inSource suppression carrying the annotation's reason.
+  EXPECT_NE(sarif.find("\"ruleId\": \"wal-before-send\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"note\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"kind\": \"inSource\""), std::string::npos);
+  EXPECT_NE(sarif.find("fixture exception"), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/narwhal/node.cpp\""), std::string::npos);
+}
+
+TEST(Baseline, RoundTripGrandfathersExistingFindings) {
+  const SourceUnit unit{"src/narwhal/node.cpp", R"(
+void Node::OnTimeout(uint64_t view) {
+  Signature sig = signer_->Sign(Preimage(view));
+  Broadcast(MakeTimeout(view, sig));
+}
+)"};
+  Summary s = LintRepoUnits({unit}, nullptr);
+  ASSERT_EQ(s.actionable(), 1);
+  const std::string baseline = WriteBaseline(s);
+
+  Summary again = LintRepoUnits({unit}, nullptr);
+  MarkBaseline(&again, ParseBaseline(baseline));
+  EXPECT_EQ(again.actionable(), 0);
+  EXPECT_EQ(again.baselined, 1);
+  // Baselined-but-present findings stay visible in the verbose report.
+  EXPECT_NE(FormatSummary(again, /*verbose=*/true).find("(baselined)"), std::string::npos);
+}
+
+TEST(Baseline, EntryIsConsumedAtMostOnce) {
+  // Two sends off one signature: identical rule, path and message (the
+  // message embeds the signature line), differing only in line number.
+  const SourceUnit unit{"src/narwhal/node.cpp", R"(
+void Node::Flood(const Digest& d) {
+  Signature sig = signer_->Sign(d);
+  network_->Send(net_id_, a_, Make(sig));
+  network_->Send(net_id_, b_, Make(sig));
+}
+)"};
+  Summary s = LintRepoUnits({unit}, nullptr);
+  ASSERT_EQ(s.actionable(), 2);
+  // A baseline holding only one of the two identical-message findings must
+  // leave the other actionable. Skip WriteBaseline's '#' header lines and
+  // keep the first entry.
+  std::string baseline;
+  std::istringstream lines(WriteBaseline(s));
+  for (std::string line; std::getline(lines, line);) {
+    if (!line.empty() && line[0] != '#') {
+      baseline = line + "\n";
+      break;
+    }
+  }
+  ASSERT_FALSE(baseline.empty());
+  Summary again = LintRepoUnits({unit}, nullptr);
+  MarkBaseline(&again, ParseBaseline(baseline));
+  EXPECT_EQ(again.baselined, 1);
+  EXPECT_EQ(again.actionable(), 1);
+}
+
+TEST(StaleAllows, CountedPerRuleInSummary) {
+  Summary s = LintRepoUnits({{"src/narwhal/node.cpp", R"(
+// ntlint:allow(wal-before-send): nothing here signs
+uint32_t benign = 0;
+)"}},
+                            nullptr);
+  EXPECT_EQ(s.total, 0);
+  EXPECT_EQ(s.stale_allows(), 1);
+  EXPECT_EQ(s.stale_by_rule.at(kRuleWalBeforeSend), 1);
+  const std::string text = FormatSummary(s, /*verbose=*/false);
+  EXPECT_NE(text.find("stale by rule"), std::string::npos);
+  EXPECT_NE(text.find("wal-before-send=1"), std::string::npos);
+}
+
 // --------------------------------------------------------- allow annotations
 
 TEST(AllowAnnotation, SuppressesOnLineAboveAndCapturesReason) {
@@ -482,12 +1119,44 @@ TEST(RealTree, SeededQuorumBugsAreExplicitlyAnnotated) {
 }
 
 // The DST harness (src/check/) computes fault budgets from committee sizes;
-// after routing through Committee::MaxFaultyFor it must lint clean with no
-// suppressions at all.
-TEST(RealTree, CheckHarnessNeedsNoSuppressions) {
+// after routing through Committee::MaxFaultyFor it lints clean except for the
+// three workload-injection lambdas, whose by-reference captures are safe (the
+// same stack frame drains the scheduler) and carry explicit annotations.
+TEST(RealTree, CheckHarnessSuppressionsAreExactlyTheWorkloadLambdas) {
   Summary s = LintPaths({std::string(NT_SOURCE_DIR) + "/src/check",
                          std::string(NT_SOURCE_DIR) + "/src/common/seeded_bugs.cpp"});
-  EXPECT_EQ(s.total, 0) << FormatSummary(s, /*verbose=*/true);
+  EXPECT_EQ(s.unsuppressed(), 0) << FormatSummary(s, /*verbose=*/true);
+  int deferred = 0;
+  for (const FileReport& f : s.files) {
+    for (const Finding& fnd : f.findings) {
+      EXPECT_EQ(fnd.rule, kRuleDeferredCapture) << f.path << ":" << fnd.line;
+      EXPECT_TRUE(fnd.suppressed) << f.path << ":" << fnd.line;
+      EXPECT_FALSE(fnd.allow_reason.empty()) << f.path << ":" << fnd.line;
+      ++deferred;
+    }
+  }
+  EXPECT_EQ(deferred, 3);
+}
+
+// Self-check mirroring the seeded-quorum test: R6 does see the two timeout
+// signature paths in HotStuff (sign→send with no barrier), and both carry
+// explicit annotations explaining why re-signing the same view preimage
+// after a restart cannot equivocate.
+TEST(RealTree, TimeoutSignaturePathsAreExplicitlyAnnotated) {
+  Summary s = LintPaths({std::string(NT_SOURCE_DIR) + "/src"});
+  int timeout_sites = 0;
+  for (const FileReport& f : s.files) {
+    for (const Finding& fnd : f.findings) {
+      if (fnd.rule == kRuleWalBeforeSend) {
+        EXPECT_NE(f.path.find("src/hotstuff/hotstuff.cpp"), std::string::npos)
+            << f.path << ":" << fnd.line;
+        EXPECT_TRUE(fnd.suppressed) << f.path << ":" << fnd.line;
+        EXPECT_FALSE(fnd.allow_reason.empty()) << f.path << ":" << fnd.line;
+        ++timeout_sites;
+      }
+    }
+  }
+  EXPECT_EQ(timeout_sites, 2);  // OnTimeout broadcast + pairwise timeout echo.
 }
 
 #endif  // NT_SOURCE_DIR

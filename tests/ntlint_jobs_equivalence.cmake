@@ -1,0 +1,17 @@
+# Asserts that `ntlint --jobs N` is observably identical to a sequential
+# lint: same stdout byte-for-byte (findings in file order, same suppression
+# report and summary line) and same exit code. The forked pass-1 workers
+# serialize FileFacts back to the parent, which re-merges them in sorted file
+# order — this test is the contract that that round-trip loses nothing.
+# Run via ctest as a script test with -DNTLINT=<binary> -DLINT_ROOT=<src dir>.
+execute_process(COMMAND ${NTLINT} ${LINT_ROOT}
+                OUTPUT_VARIABLE seq_out RESULT_VARIABLE seq_rc)
+execute_process(COMMAND ${NTLINT} --jobs 4 ${LINT_ROOT}
+                OUTPUT_VARIABLE par_out RESULT_VARIABLE par_rc)
+if(NOT seq_rc EQUAL par_rc)
+  message(FATAL_ERROR "exit codes differ: sequential=${seq_rc} parallel=${par_rc}")
+endif()
+if(NOT seq_out STREQUAL par_out)
+  message(FATAL_ERROR "parallel output differs from sequential:\n"
+                      "--- sequential ---\n${seq_out}\n--- parallel ---\n${par_out}")
+endif()

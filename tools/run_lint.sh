@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Build ntlint (if needed) and lint the tree. Any extra arguments are passed
 # straight to the tool, e.g.:
-#   tools/run_lint.sh                 # lint src/, summary only
-#   tools/run_lint.sh --verbose       # also echo suppressed findings
-#   tools/run_lint.sh src/narwhal     # lint one subtree
+#   tools/run_lint.sh                  # lint src/, summary only
+#   tools/run_lint.sh --verbose        # also echo suppressed findings
+#   tools/run_lint.sh --strict-allows  # stale allow annotations fail (CI mode)
+#   tools/run_lint.sh --jobs 4         # forked pass 1, byte-identical output
+#   tools/run_lint.sh src/narwhal      # lint one subtree
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
