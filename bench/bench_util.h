@@ -81,19 +81,24 @@ class BenchJson {
 };
 
 inline void PrintSweepHeader() {
-  std::printf("%-12s %6s %8s %7s %10s | %10s %8s | %9s %8s %9s | %10s %10s %9s\n", "system",
-              "nodes", "workers", "faults", "input_tps", "tps", "tps_sd", "avg_lat_s", "lat_sd",
-              "p99_lat_s", "cert_hits", "cert_miss", "abandoned");
+  std::printf("%-12s %6s %8s %7s %10s | %10s %8s | %9s %8s %9s | %10s %10s %9s | %10s %8s %10s\n",
+              "system", "nodes", "workers", "faults", "input_tps", "tps", "tps_sd", "avg_lat_s",
+              "lat_sd", "p99_lat_s", "cert_hits", "cert_miss", "abandoned", "exec_appl",
+              "exec_rej", "exec_cross");
 }
 
 inline void PrintSweepRow(const AveragedResult& r) {
   std::printf(
-      "%-12s %6u %8u %7u %10.0f | %10.0f %8.0f | %9.2f %8.2f %9.2f | %10llu %10llu %9llu\n",
+      "%-12s %6u %8u %7u %10.0f | %10.0f %8.0f | %9.2f %8.2f %9.2f | %10llu %10llu %9llu | "
+      "%10llu %8llu %10llu\n",
       r.first.system.c_str(), r.first.nodes, r.first.workers, r.first.faults, r.first.input_tps,
       r.tps_mean, r.tps_stddev, r.latency_mean, r.latency_stddev, r.p99_mean,
       static_cast<unsigned long long>(r.first.cert_cache_hits),
       static_cast<unsigned long long>(r.first.cert_cache_misses),
-      static_cast<unsigned long long>(r.first.abandoned_txs));
+      static_cast<unsigned long long>(r.first.abandoned_txs),
+      static_cast<unsigned long long>(r.first.exec_applied),
+      static_cast<unsigned long long>(r.first.exec_rejected),
+      static_cast<unsigned long long>(r.first.exec_cross));
   std::fflush(stdout);
 }
 

@@ -8,8 +8,8 @@
 
 #include "src/check/oracle.h"
 #include "src/common/seeded_bugs.h"
-#include "src/exec/executor.h"
 #include "src/hotstuff/payload.h"
+#include "src/shard/sharded_executor.h"
 
 namespace nt {
 
@@ -34,6 +34,25 @@ std::string DigestPrefix(const Digest& d) {
 }
 
 std::string Account(ValidatorId v) { return "acct-" + std::to_string(v); }
+
+// FNV-1a fold of the per-header lane-digest sequence — the per-shard state
+// fingerprint the determinism audit compares across runs.
+uint64_t FoldShardState(const std::vector<std::pair<Digest, std::vector<Digest>>>& exec_global) {
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](const Digest& d) {
+    for (uint8_t byte : d) {
+      h ^= byte;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& [header, lanes] : exec_global) {
+    mix(header);
+    for (const Digest& lane : lanes) {
+      mix(lane);
+    }
+  }
+  return h;
+}
 
 }  // namespace
 
@@ -61,6 +80,8 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
   seeded_bugs::Scoped bug2(&seeded_bugs::skip_tusk_support, schedule.bug_skip_tusk_support);
   seeded_bugs::Scoped bug3(&seeded_bugs::skip_bullshark_support,
                            schedule.bug_skip_bullshark_support);
+  seeded_bugs::Scoped bug4(&seeded_bugs::skip_cross_shard_lock,
+                           schedule.bug_skip_cross_shard_lock);
 
   ClusterConfig config;
   config.system = schedule.system;
@@ -87,14 +108,19 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
   // (AddCertificate keeps the first per (round, author) — the monitor above
   // reports when that ever matters).
   Dag union_dag;
-  // (1) prefix consistency: longest committed sequence seen so far.
+  // (1) prefix consistency: longest committed sequence seen so far. The
+  // header objects ride along as the shard-oracle replay input.
   std::vector<Digest> global_seq;
+  std::vector<std::shared_ptr<const BlockHeader>> global_headers;
   std::vector<std::vector<Digest>> commit_seq(n);
   std::vector<TimePoint> last_commit(n, -1);
-  // (5) execution agreement.
-  std::vector<KvStateMachine> machines(n);
-  std::vector<std::unique_ptr<Executor>> executors(n);
-  std::vector<std::pair<Digest, Digest>> exec_global;  // (header, state digest).
+  // (5) execution agreement and (8) shard state: every validator runs a
+  // ShardedExecutor with `num_lanes` lanes (1 = the historical single-lane
+  // behavior) whose per-lane digest vectors must agree at equal sequence
+  // numbers, conserve balance, and match the pure ReplayShards oracle.
+  const uint32_t num_lanes = std::max<uint32_t>(1, schedule.shards);
+  std::vector<std::unique_ptr<ShardedExecutor>> executors(n);
+  std::vector<std::pair<Digest, std::vector<Digest>>> exec_global;  // (header, lane digests).
   std::vector<size_t> exec_len(n, 0);
   // (7) restart consistency: validators with a scheduled recovery, the
   // headers each validator has authored (any observer's view), and each
@@ -158,21 +184,34 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
     // new object, and a raw pointer captured here would dangle after the
     // rebuild.
     if (executors[v] == nullptr) {
-      executors[v] = std::make_unique<Executor>(&machines[v], [&cluster, v](const BatchRef& ref) {
-        return cluster.worker(v, 0)->GetBatch(ref.digest);
-      });
+      executors[v] =
+          std::make_unique<ShardedExecutor>(num_lanes, [&cluster, v](const BatchRef& ref) {
+            return cluster.worker(v, 0)->GetBatch(ref.digest);
+          });
     }
-    executors[v]->set_on_executed([&, v](const Digest& header_digest, const Digest& state) {
+    ShardedExecutor* executor = executors[v].get();
+    executor->set_on_executed([&, v, executor](const Digest& header_digest,
+                                               const std::vector<Digest>& lanes) {
       size_t i = exec_len[v]++;
       if (i < exec_global.size()) {
-        if (exec_global[i] != std::make_pair(header_digest, state)) {
+        if (exec_global[i].first != header_digest || exec_global[i].second != lanes) {
           violation("exec-agreement",
                     "validator " + std::to_string(v) + " diverges at executed header #" +
                         std::to_string(i) + " (header " + DigestPrefix(header_digest) +
-                        ", state " + DigestPrefix(state) + ")");
+                        ", lane 0 state " + DigestPrefix(lanes[0]) + ")");
         }
       } else {
-        exec_global.emplace_back(header_digest, state);
+        exec_global.emplace_back(header_digest, lanes);
+      }
+      // (8) conservation-of-balance across lanes, at every commit boundary:
+      // honest execution can move supply between lanes but never create it.
+      if (executor->total_balance() != executor->minted_total()) {
+        violation("shard-conservation",
+                  "validator " + std::to_string(v) + " holds " +
+                      std::to_string(executor->total_balance()) + " tokens across " +
+                      std::to_string(num_lanes) + " lane(s) with only " +
+                      std::to_string(executor->minted_total()) + " minted, at executed header #" +
+                      std::to_string(i));
       }
     });
 
@@ -201,6 +240,7 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
         }
       } else {
         global_seq.push_back(digest);
+        global_headers.push_back(header);
       }
       // (3) causal completeness at commit time, in the committing
       // validator's own view.
@@ -261,21 +301,43 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
 
   // --- workload -------------------------------------------------------------
   // Explicit ExecTx payloads so execution agreement checks real state: one
-  // mint per validator account up front, then round-robin unit transfers.
+  // mint per (validator, lane) account up front, then round-robin unit
+  // transfers. With one lane the account book collapses to the historical
+  // Account(v) names and the stream is byte-identical to the pre-sharding
+  // workload — golden event hashes stay frozen. With more lanes, per-lane
+  // accounts are mined onto their lane and every third transfer crosses to
+  // the next lane (a deterministic ~33% cross-shard mix).
+  std::vector<std::vector<std::string>> lane_accounts(n);
   for (ValidatorId v = 0; v < n; ++v) {
+    if (num_lanes == 1) {
+      lane_accounts[v].push_back(Account(v));
+    } else {
+      for (ShardId s = 0; s < num_lanes; ++s) {
+        lane_accounts[v].push_back(ShardRouter::MineAccount(Account(v), s, num_lanes));
+      }
+    }
+  }
+  for (ValidatorId v = 0; v < n; ++v) {
+    std::vector<Bytes> mints;
+    for (const std::string& account : lane_accounts[v]) {
+      mints.push_back(ExecTx::Mint(account, 1000000).Encode());
+    }
     // ntlint:allow(deferred-capture): cluster outlives the callbacks — RunUntil below drains the scheduler inside this stack frame
-    scheduler.ScheduleAt(Millis(10), [&cluster, v] {
-      cluster.worker(v, 0)->SubmitBlock({ExecTx::Mint(Account(v), 1000000).Encode()});
+    scheduler.ScheduleAt(Millis(10), [&cluster, v, mints] {
+      cluster.worker(v, 0)->SubmitBlock(mints);
     });
   }
   uint64_t k = 0;
   for (TimePoint t = Millis(100); t < schedule.duration; t += schedule.tx_interval, ++k) {
     ValidatorId src = static_cast<ValidatorId>(k % n);
     ValidatorId dst = static_cast<ValidatorId>((k + 1) % n);
+    ShardId lane_a = static_cast<ShardId>(k % num_lanes);
+    ShardId lane_b = (k % 3 == 2) ? static_cast<ShardId>((lane_a + 1) % num_lanes) : lane_a;
+    Bytes payload =
+        ExecTx::Transfer(lane_accounts[src][lane_a], lane_accounts[dst][lane_b], 1).Encode();
     // ntlint:allow(deferred-capture): cluster outlives the callbacks — RunUntil below drains the scheduler inside this stack frame
-    scheduler.ScheduleAt(t, [&cluster, src, dst] {
-      cluster.worker(src, 0)->SubmitBlock(
-          {ExecTx::Transfer(Account(src), Account(dst), 1).Encode()});
+    scheduler.ScheduleAt(t, [&cluster, src, payload] {
+      cluster.worker(src, 0)->SubmitBlock({payload});
     });
   }
   // Committed headers can execute before their batch data syncs; retry the
@@ -335,6 +397,42 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
     }
   }
 
+  // (8) shard oracle: pure replay of the sharded execution semantics over the
+  // globally committed header sequence, resolving batch data from any
+  // validator's worker store. Every live executor's per-lane digest sequence
+  // (already cross-checked for agreement above) must be a prefix of the
+  // reference — a live path that skips locks, misroutes keys, or reorders the
+  // commit boundary diverges here even when every validator computes the same
+  // wrong answer.
+  {
+    auto resolve = [&cluster, n](const BatchRef& ref) -> std::shared_ptr<const Batch> {
+      for (ValidatorId v = 0; v < n; ++v) {
+        if (Worker* w = cluster.worker(v, 0)) {
+          if (auto batch = w->GetBatch(ref.digest)) {
+            return batch;
+          }
+        }
+      }
+      return nullptr;
+    };
+    ShardReplay replay = ReplayShards(global_headers, num_lanes, resolve);
+    size_t common = std::min(exec_global.size(), replay.lanes_after.size());
+    for (size_t i = 0; i < common; ++i) {
+      if (exec_global[i].second != replay.lanes_after[i]) {
+        violation("shard-oracle", "live lane digests diverge from ReplayShards at executed "
+                                  "header #" +
+                                      std::to_string(i) + " (header " +
+                                      DigestPrefix(exec_global[i].first) + ")");
+        break;
+      }
+    }
+    if (replay.complete && exec_global.size() > replay.lanes_after.size()) {
+      violation("shard-oracle",
+                "live executors executed " + std::to_string(exec_global.size()) +
+                    " headers, ReplayShards only " + std::to_string(replay.lanes_after.size()));
+    }
+  }
+
   // (6) liveness: every correct validator commits within the slack window at
   // the end of the run (which extends well past GST by construction). Under
   // degraded-mode schedules (crashes/equivocators down to exactly 2f+1 alive
@@ -376,6 +474,7 @@ CheckResult RunSchedule(const FaultSchedule& schedule) {
 
   result.event_hash = scheduler.event_hash();
   result.events_fired = scheduler.events_fired();
+  result.shard_state_hash = FoldShardState(exec_global);
   for (ValidatorId v = 0; v < n; ++v) {
     result.commits = std::max<uint64_t>(result.commits, commit_seq[v].size());
   }
@@ -392,6 +491,12 @@ CheckResult RunScheduleWithDeterminismCheck(const FaultSchedule& schedule) {
                             " (" + std::to_string(first.events_fired) + " events) vs " +
                             std::to_string(second.event_hash) + " (" +
                             std::to_string(second.events_fired) + " events)"});
+  } else if (first.shard_state_hash != second.shard_state_hash) {
+    first.violations.push_back(
+        {"determinism", "two runs of seed " + std::to_string(schedule.seed) +
+                            " diverged in per-shard state: " +
+                            std::to_string(first.shard_state_hash) + " vs " +
+                            std::to_string(second.shard_state_hash)});
   } else if (first.Summary() != second.Summary()) {
     first.violations.push_back({"determinism", "two runs of seed " +
                                                    std::to_string(schedule.seed) +

@@ -11,12 +11,19 @@
 //      fully available locally at commit time (§4 availability);
 //   4. oracle agreement — each validator's Tusk commit output is a prefix of
 //      a pure reference replay over the union DAG (§5 commit rule);
-//   5. execution agreement — executor state digests agree across validators
-//      at equal sequence numbers (§8.4);
-//   6. liveness — commits resume within a bounded window after GST.
+//   5. execution agreement — per-lane executor state digests agree across
+//      validators at equal sequence numbers (§8.4);
+//   6. liveness — commits resume within a bounded window after GST;
+//   7. restart consistency — a recovered validator neither double-signs nor
+//      re-delivers commits across the crash;
+//   8. shard state — with sharded execution lanes (schedule.shards > 1, and
+//      degenerately with one): token supply is conserved across lanes at
+//      every commit boundary, and every live executor's lane-digest sequence
+//      is a prefix of the pure ReplayShards oracle's.
 //
 // A run is deterministic: same schedule, same event-stream hash, same
-// verdict. Violations carry human-readable detail for the shrinker/CLI.
+// per-shard state hash, same verdict. Violations carry human-readable detail
+// for the shrinker/CLI.
 #ifndef SRC_CHECK_CHECKER_H_
 #define SRC_CHECK_CHECKER_H_
 
@@ -29,7 +36,8 @@ namespace nt {
 
 struct Violation {
   // Invariant identifier: "prefix-consistency", "cert-uniqueness",
-  // "causal-completeness", "oracle-agreement", "exec-agreement", "liveness".
+  // "causal-completeness", "oracle-agreement", "exec-agreement", "liveness",
+  // "restart-consistency", "shard-conservation", "shard-oracle".
   std::string invariant;
   std::string detail;
 };
@@ -39,6 +47,10 @@ struct CheckResult {
   // Determinism fingerprint of the run (Scheduler::event_hash at the end).
   uint64_t event_hash = 0;
   uint64_t events_fired = 0;
+  // Fold of the globally agreed per-header lane-digest sequence; the
+  // determinism audit requires it to match across identical runs (identical
+  // event hash alone would not notice divergent execution state).
+  uint64_t shard_state_hash = 0;
   // Commits observed at validator 0 (progress indicator).
   uint64_t commits = 0;
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
+#include "src/exec/state_machine.h"
+#include "src/shard/router.h"
 #include "src/tusk/tusk.h"
 
 namespace nt {
@@ -216,6 +219,73 @@ BullsharkReplay ReplayBullshark(Dag dag, const Committee& committee, Round gc_de
         it = committed_by_round.erase(it);
       }
     }
+  }
+  return out;
+}
+
+ShardReplay ReplayShards(
+    const std::vector<std::shared_ptr<const BlockHeader>>& ordered, uint32_t num_lanes,
+    const std::function<std::shared_ptr<const Batch>(const BatchRef&)>& resolve) {
+  ShardReplay out;
+  ShardRouter router(num_lanes);
+  std::vector<KvStateMachine> lanes(router.num_shards());
+  for (const std::shared_ptr<const BlockHeader>& header : ordered) {
+    // Resolve every batch before touching any lane, mirroring the live
+    // executor's all-or-nothing rule.
+    std::vector<std::shared_ptr<const Batch>> batches;
+    batches.reserve(header->batches.size());
+    for (const BatchRef& ref : header->batches) {
+      std::shared_ptr<const Batch> batch = resolve(ref);
+      if (batch == nullptr) {
+        out.complete = false;
+        break;
+      }
+      batches.push_back(std::move(batch));
+    }
+    if (!out.complete) {
+      break;
+    }
+    // Single-shard fast path in encounter order, cross-shard transfers
+    // deferred to the commit boundary — the honest semantics, re-stated
+    // independently of ShardedExecutor (and of seeded_bugs).
+    std::vector<std::pair<const Bytes*, ExecTx>> cross;
+    for (const auto& batch : batches) {
+      for (const Bytes& wire : batch->txs) {
+        std::optional<ExecTx> tx = ExecTx::Decode(wire);
+        if (!tx.has_value()) {
+          lanes[0].Apply(wire);
+          continue;
+        }
+        if (tx->op == ExecTx::Op::kTransfer) {
+          ShardId src = router.Of(tx->key);
+          ShardId dst = router.Of(tx->key2);
+          if (src != dst) {
+            cross.emplace_back(&wire, std::move(*tx));
+            continue;
+          }
+          lanes[src].Apply(wire);
+          continue;
+        }
+        lanes[router.Of(tx->key)].Apply(wire);
+      }
+    }
+    for (const auto& [wire, tx] : cross) {
+      ShardId src = router.Of(tx.key);
+      ShardId dst = router.Of(tx.key2);
+      if (lanes[src].LockDebit(*wire, tx) == ExecStatus::kApplied) {
+        lanes[dst].ApplyCredit(*wire, tx);
+      }
+    }
+    std::vector<Digest> after;
+    after.reserve(lanes.size());
+    for (const KvStateMachine& lane : lanes) {
+      after.push_back(lane.state_digest());
+    }
+    out.lanes_after.push_back(std::move(after));
+  }
+  for (const KvStateMachine& lane : lanes) {
+    out.minted += lane.minted();
+    out.total_balance += lane.total_balance();
   }
   return out;
 }

@@ -9,12 +9,15 @@
 #ifndef SRC_CHECK_ORACLE_H_
 #define SRC_CHECK_ORACLE_H_
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/bullshark/bullshark.h"
 #include "src/crypto/coin.h"
 #include "src/narwhal/dag.h"
 #include "src/types/committee.h"
+#include "src/types/types.h"
 
 namespace nt {
 
@@ -47,6 +50,29 @@ struct BullsharkReplay {
 // honest regardless of seeded_bugs weakenings of the live path.
 BullsharkReplay ReplayBullshark(Dag dag, const Committee& committee, Round gc_depth,
                                 BullsharkConfig config = {});
+
+struct ShardReplay {
+  // Per executed header, every lane's chained state digest after the header's
+  // commit boundary — the reference the live ShardedExecutor sequences are
+  // compared against (prefix relation, like the commit oracles above).
+  std::vector<std::vector<Digest>> lanes_after;
+  // Conservation accounting at the end of the replay.
+  uint64_t minted = 0;
+  uint64_t total_balance = 0;
+  // False if some referenced batch could not be resolved anywhere — the
+  // replay stops at that header (the harness under-observed; not a bug).
+  bool complete = true;
+};
+
+// Pure replay of the sharded execution semantics (src/shard/) over the
+// globally committed header sequence: lane routing, the single-shard fast
+// path, and the honest two-phase cross-shard apply at each commit boundary.
+// Independent re-implementation — it never consults seeded_bugs, so a
+// weakened live executor diverges from it. `resolve` maps a batch reference
+// to its content (typically a union over every validator's worker store).
+ShardReplay ReplayShards(
+    const std::vector<std::shared_ptr<const BlockHeader>>& ordered, uint32_t num_lanes,
+    const std::function<std::shared_ptr<const Batch>(const BatchRef&)>& resolve);
 
 }  // namespace nt
 

@@ -143,6 +143,9 @@ std::string FaultSchedule::Encode() const {
   out << "validators=" << validators << "\n";
   out << "duration_us=" << duration << "\n";
   out << "tx_interval_us=" << tx_interval << "\n";
+  if (shards != 1) {
+    out << "shards=" << shards << "\n";
+  }
   if (loss_rate > 0) {
     out << "loss=" << loss_rate << "\n";
   }
@@ -170,6 +173,9 @@ std::string FaultSchedule::Encode() const {
   }
   if (bug_skip_bullshark_support) {
     out << "bug=skip_bullshark_support\n";
+  }
+  if (bug_skip_cross_shard_lock) {
+    out << "bug=skip_cross_shard_lock\n";
   }
   return out.str();
 }
@@ -209,6 +215,11 @@ std::optional<FaultSchedule> FaultSchedule::Decode(const std::string& text) {
       v >> s.duration;
     } else if (key == "tx_interval_us") {
       v >> s.tx_interval;
+    } else if (key == "shards") {
+      v >> s.shards;
+      if (s.shards < 1) {
+        return std::nullopt;
+      }
     } else if (key == "loss") {
       v >> s.loss_rate;
     } else if (key == "crash") {
@@ -256,6 +267,8 @@ std::optional<FaultSchedule> FaultSchedule::Decode(const std::string& text) {
         s.bug_skip_tusk_support = true;
       } else if (value == "skip_bullshark_support") {
         s.bug_skip_bullshark_support = true;
+      } else if (value == "skip_cross_shard_lock") {
+        s.bug_skip_cross_shard_lock = true;
       } else {
         return std::nullopt;
       }

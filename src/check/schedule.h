@@ -62,11 +62,20 @@ struct FaultSchedule {
   // validators), plus per-validator mints at start.
   TimeDelta tx_interval = Millis(400);
 
+  // Execution lanes per validator (src/shard/). 1 = the historical
+  // single-lane executor; > 1 enables the sharded workload (per-lane
+  // accounts, a deterministic mix of single- and cross-shard transfers) and
+  // the shard invariants. Never drawn by GenerateSchedule — the seed stream
+  // is frozen — so coverage comes from pinned `ntcheck --shards` bands, like
+  // Bullshark's `--system` pin.
+  uint32_t shards = 1;
+
   // Seeded protocol weakenings active during the run (mutation testing; see
   // src/common/seeded_bugs.h). Serialized so repro files are self-contained.
   bool bug_accept_2f_certs = false;
   bool bug_skip_tusk_support = false;
   bool bug_skip_bullshark_support = false;
+  bool bug_skip_cross_shard_lock = false;
 
   // Global stabilization time: the end of the last partition/asynchrony
   // window (0 when none), extended by the in-flight tail of delayed

@@ -109,6 +109,18 @@ std::vector<FaultSchedule> Candidates(const FaultSchedule& s) {
       out.push_back(std::move(t));
     }
   }
+  // Fewer execution lanes first (1 kills the cross-shard path entirely; 2 is
+  // the smallest lane count that can still cross) — a shard repro that also
+  // fires single-lane shrinks to the simpler schedule.
+  if (s.shards > 1) {
+    FaultSchedule t = s;
+    t.shards = 1;
+    out.push_back(t);
+    if (s.shards > 2) {
+      t.shards = 2;
+      out.push_back(std::move(t));
+    }
+  }
   // Narrow windows without dropping them (keeps a needed fault but trims the
   // repro's interesting region).
   for (size_t i = 0; i < s.partitions.size(); ++i) {

@@ -6,6 +6,7 @@ namespace seeded_bugs {
 bool accept_2f_certs = false;
 bool skip_tusk_support = false;
 bool skip_bullshark_support = false;
+bool skip_cross_shard_lock = false;
 
 }  // namespace seeded_bugs
 }  // namespace nt

@@ -32,6 +32,14 @@ extern bool skip_tusk_support;
 // consistency / agreement with ReplayBullshark).
 extern bool skip_bullshark_support;
 
+// The sharded executor skips phase 1 of the cross-shard two-phase apply (the
+// funds check + debit at the source lane) and goes straight to the credit —
+// the classic lost-lock bug in deterministic cross-shard commit. Every
+// cross-shard transfer then creates tokens out of thin air (violates
+// conservation-of-balance) and the lanes' digest chains diverge from the
+// honest ReplayShards oracle.
+extern bool skip_cross_shard_lock;
+
 // RAII guard for tests: sets a flag, restores the previous value on exit.
 class Scoped {
  public:

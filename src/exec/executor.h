@@ -52,7 +52,10 @@ class Executor {
   }
 
   uint64_t executed_headers() const { return executed_headers_; }
-  uint64_t executed_txs() const { return state_machine_->applied() + state_machine_->rejected(); }
+  // Separate outcome counters (not one conflated "executed" sum): applied
+  // transactions mutated state, rejected ones only advanced the digest chain.
+  uint64_t applied_txs() const { return state_machine_->applied(); }
+  uint64_t rejected_txs() const { return state_machine_->rejected(); }
   size_t pending_headers() const { return queue_.size(); }
 
  private:

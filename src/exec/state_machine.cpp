@@ -92,6 +92,7 @@ ExecStatus KvStateMachine::Apply(const Bytes& wire_tx) {
         break;
       case ExecTx::Op::kMint:
         balances_[tx->key] += tx->amount;
+        minted_ += tx->amount;
         break;
       case ExecTx::Op::kTransfer: {
         auto from = balances_.find(tx->key);
@@ -107,11 +108,35 @@ ExecStatus KvStateMachine::Apply(const Bytes& wire_tx) {
         break;
     }
   }
-  Advance(wire_tx, status);
+  Advance(wire_tx, status, ExecPhase::kWhole);
   return status;
 }
 
-void KvStateMachine::Advance(const Bytes& wire_tx, ExecStatus status) {
+ExecStatus KvStateMachine::LockDebit(const Bytes& wire_tx, const ExecTx& tx) {
+  ExecStatus status = ExecStatus::kApplied;
+  auto from = balances_.find(tx.key);
+  if (from == balances_.end() || from->second < tx.amount) {
+    status = ExecStatus::kRejectedInsufficient;
+  } else {
+    from->second -= tx.amount;
+  }
+  Advance(wire_tx, status, ExecPhase::kLock);
+  return status;
+}
+
+void KvStateMachine::ApplyCredit(const Bytes& wire_tx, const ExecTx& tx) {
+  balances_[tx.key2] += tx.amount;
+  Sha256 h;
+  h.Update(state_digest_.data(), state_digest_.size());
+  h.Update(wire_tx);
+  uint8_t status_byte = static_cast<uint8_t>(ExecStatus::kApplied);
+  h.Update(&status_byte, 1);
+  uint8_t phase_byte = static_cast<uint8_t>(ExecPhase::kCredit);
+  h.Update(&phase_byte, 1);
+  state_digest_ = h.Finalize();
+}
+
+void KvStateMachine::Advance(const Bytes& wire_tx, ExecStatus status, ExecPhase phase) {
   if (status == ExecStatus::kApplied) {
     ++applied_;
   } else {
@@ -122,6 +147,12 @@ void KvStateMachine::Advance(const Bytes& wire_tx, ExecStatus status) {
   h.Update(wire_tx);
   uint8_t status_byte = static_cast<uint8_t>(status);
   h.Update(&status_byte, 1);
+  if (phase != ExecPhase::kWhole) {
+    // The phase byte is appended only for split applies, so single-lane
+    // digests stay byte-compatible with the pre-sharding chain.
+    uint8_t phase_byte = static_cast<uint8_t>(phase);
+    h.Update(&phase_byte, 1);
+  }
   state_digest_ = h.Finalize();
 }
 
@@ -131,6 +162,14 @@ std::optional<Bytes> KvStateMachine::Get(const std::string& key) const {
     return std::nullopt;
   }
   return it->second;
+}
+
+uint64_t KvStateMachine::total_balance() const {
+  uint64_t total = 0;
+  for (const auto& [account, balance] : balances_) {
+    total += balance;
+  }
+  return total;
 }
 
 uint64_t KvStateMachine::BalanceOf(const std::string& account) const {

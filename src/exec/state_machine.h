@@ -51,11 +51,33 @@ enum class ExecStatus : uint8_t {
   kRejectedInsufficient,  // Transfer without funds.
 };
 
+// How a transaction touched this state machine. Single-lane execution always
+// applies whole transactions; the sharded executor (src/shard/) splits a
+// cross-shard transfer into a lock (debit at the source lane) and a credit
+// (at the destination lane), and the phase is folded into the digest chain so
+// a lane that saw a lock can never agree with one that saw a whole apply.
+enum class ExecPhase : uint8_t {
+  kWhole = 0,
+  kLock = 1,    // Cross-shard phase 1: funds check + debit of `key`.
+  kCredit = 2,  // Cross-shard phase 2: credit of `key2`.
+};
+
 // The replicated state machine. Deterministic: identical transaction
 // sequences yield identical state digests on every replica.
 class KvStateMachine {
  public:
   ExecStatus Apply(const Bytes& wire_tx);
+
+  // Two-phase cross-shard transfer, driven by the sharded executor with this
+  // machine acting as one lane. `tx` must be the decoded form of `wire_tx`.
+  //
+  // Phase 1 at the source lane: checks funds and debits `tx.key`. Counts the
+  // whole transaction (applied or rejected) at this lane.
+  ExecStatus LockDebit(const Bytes& wire_tx, const ExecTx& tx);
+  // Phase 2 at the destination lane: credits `tx.key2`. Only called after a
+  // successful lock, so it cannot fail; counts nothing (the source lane
+  // already accounted for the transaction).
+  void ApplyCredit(const Bytes& wire_tx, const ExecTx& tx);
 
   // Chained digest over every applied transaction *and* its effect — two
   // replicas agree on it iff they executed the same sequence with the same
@@ -70,18 +92,26 @@ class KvStateMachine {
   size_t keys() const { return kv_.size(); }
   size_t accounts() const { return balances_.size(); }
 
+  // Conservation accounting: token supply created by kMint on this machine,
+  // and the sum of all account balances. On a single machine the two are
+  // always equal (transfers conserve, rejects move nothing); across sharded
+  // lanes their sums must agree — the DST conservation invariant.
+  uint64_t minted() const { return minted_; }
+  uint64_t total_balance() const;
+
   // Full-state digest (order-independent recomputation over the maps);
   // used by audits and snapshot tests.
   Digest ComputeSnapshotDigest() const;
 
  private:
-  void Advance(const Bytes& wire_tx, ExecStatus status);
+  void Advance(const Bytes& wire_tx, ExecStatus status, ExecPhase phase);
 
   std::map<std::string, Bytes> kv_;
   std::map<std::string, uint64_t> balances_;
   Digest state_digest_{};
   uint64_t applied_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t minted_ = 0;
 };
 
 }  // namespace nt

@@ -214,10 +214,46 @@ bool BodyEscapesOrder(const Toks& t, size_t first, size_t last) {
 
 // Collects names of variables (and members) declared with an unordered
 // container type, plus `using` aliases of such types, into `unordered_vars`.
-void CollectUnorderedDecls(const Toks& t, std::set<std::string>* unordered_vars) {
+// Per-lane books — ordered sequences whose *elements* are unordered
+// containers (`std::vector<std::unordered_map<...>> lanes_`) — go into
+// `elem_unordered_vars`: the sequence itself iterates in index order, but a
+// subscripted element (`lanes_[lane]`) is just as order-unstable as a bare
+// unordered member.
+void CollectUnorderedDecls(const Toks& t, std::set<std::string>* unordered_vars,
+                           std::set<std::string>* elem_unordered_vars) {
   static const std::set<std::string> kUnorderedTypes = {
       "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+  static const std::set<std::string> kSequenceTypes = {"vector", "deque", "array"};
   std::set<std::string>& vars = *unordered_vars;
+  // Pass 0: sequences of unordered containers.
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || kSequenceTypes.count(t[i].text) == 0 ||
+        t[i + 1].text != "<") {
+      continue;
+    }
+    size_t close = MatchForward(t, i + 1, "<", ">");
+    if (close >= t.size()) {
+      continue;
+    }
+    bool holds_unordered = false;
+    for (size_t k = i + 2; k < close; ++k) {
+      if (t[k].kind == TokKind::kIdent && kUnorderedTypes.count(t[k].text) > 0) {
+        holds_unordered = true;
+        break;
+      }
+    }
+    if (!holds_unordered) {
+      continue;
+    }
+    size_t j = close + 1;
+    while (j < t.size() && (t[j].text == "&" || t[j].text == "*" || IsIdent(t[j], "const"))) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == TokKind::kIdent &&
+        (j + 1 >= t.size() || t[j + 1].text != "(")) {
+      elem_unordered_vars->insert(t[j].text);
+    }
+  }
   std::set<std::string> alias_types;
   for (size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind != TokKind::kIdent) {
@@ -262,11 +298,12 @@ void RunUnorderedIter(const std::string& path, const Toks& t, const Toks* compan
   // Members are declared in the header and iterated in the .cpp, so the
   // driver passes the companion header's tokens for declaration collection.
   std::set<std::string> unordered_vars;
-  CollectUnorderedDecls(t, &unordered_vars);
+  std::set<std::string> elem_unordered_vars;
+  CollectUnorderedDecls(t, &unordered_vars, &elem_unordered_vars);
   if (companion != nullptr) {
-    CollectUnorderedDecls(*companion, &unordered_vars);
+    CollectUnorderedDecls(*companion, &unordered_vars, &elem_unordered_vars);
   }
-  if (unordered_vars.empty()) {
+  if (unordered_vars.empty() && elem_unordered_vars.empty()) {
     return;
   }
 
@@ -300,14 +337,35 @@ void RunUnorderedIter(const std::string& path, const Toks& t, const Toks* compan
         unordered_vars.count(t[close - 1].text) > 0) {
       var = t[close - 1].text;
     }
-    // Iterator loop: `it = m.begin()` inside the for-header.
+    // Range-for over a subscripted per-lane book: `: lanes_[lane])`.
+    if (var.empty() && colon != 0 && t[close - 1].text == "]") {
+      for (size_t k = colon + 1; k + 1 < close; ++k) {
+        if (t[k].kind == TokKind::kIdent && elem_unordered_vars.count(t[k].text) > 0 &&
+            t[k + 1].text == "[" && MatchForward(t, k + 1, "[", "]") == close - 1) {
+          var = t[k].text;
+          break;
+        }
+      }
+    }
+    // Iterator loop: `it = m.begin()` inside the for-header, with or without
+    // a per-lane subscript (`deferred_[lane].begin()`).
     if (var.empty()) {
       for (size_t k = i + 2; k + 2 < close; ++k) {
-        if (t[k].kind == TokKind::kIdent && unordered_vars.count(t[k].text) > 0 &&
-            t[k + 1].text == "." &&
+        if (t[k].kind != TokKind::kIdent) {
+          continue;
+        }
+        if (unordered_vars.count(t[k].text) > 0 && t[k + 1].text == "." &&
             (IsIdent(t[k + 2], "begin") || IsIdent(t[k + 2], "cbegin"))) {
           var = t[k].text;
           break;
+        }
+        if (elem_unordered_vars.count(t[k].text) > 0 && t[k + 1].text == "[") {
+          size_t sub = MatchForward(t, k + 1, "[", "]");
+          if (sub + 2 < close && t[sub + 1].text == "." &&
+              (IsIdent(t[sub + 2], "begin") || IsIdent(t[sub + 2], "cbegin"))) {
+            var = t[k].text;
+            break;
+          }
         }
       }
     }

@@ -4,7 +4,12 @@ namespace nt {
 
 LoadGenerator::LoadGenerator(Cluster* cluster, ValidatorId validator, WorkerId worker,
                              Options options)
-    : cluster_(cluster), validator_(validator), worker_(worker), options_(options) {}
+    : cluster_(cluster),
+      validator_(validator),
+      worker_(worker),
+      options_(options),
+      rng_(Rng::Derive(cluster->config().seed,
+                       "loadgen-" + std::to_string(validator) + "-" + std::to_string(worker))) {}
 
 void LoadGenerator::Start() {
   cluster_->scheduler().ScheduleAfter(options_.tick, [this] { Tick(); });
@@ -21,17 +26,28 @@ void LoadGenerator::Tick() {
 
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t id = cluster_->NextTxId();
+    Bytes payload;
+    if (options_.transfer != nullptr) {
+      // The cluster-unique tx id doubles as the transfer nonce, so two
+      // clients drawing the same (from, to, amount) still submit distinct
+      // wire payloads (the worker dedup window must not merge them).
+      payload = options_.transfer->NextTransfer(rng_, id);
+    }
     std::optional<TxSample> sample;
     if (until_sample_ == 0) {
       sample = TxSample{id, now};
       until_sample_ = options_.sample_rate;
       if (options_.resubmit_timeout > 0) {
-        pending_.push_back(PendingTx{id, now, now, 1, validator_});
+        pending_.push_back(PendingTx{id, now, now, 1, validator_, payload});
       }
       NT_TRACE(cluster_->tracer(), OnTxSubmit(id, validator_, now));
     }
     --until_sample_;
-    cluster_->SubmitTx(validator_, worker_, options_.tx_size, sample);
+    if (options_.transfer != nullptr) {
+      cluster_->SubmitTxPayload(validator_, worker_, std::move(payload), sample);
+    } else {
+      cluster_->SubmitTx(validator_, worker_, options_.tx_size, sample);
+    }
     ++submitted_;
   }
   if (options_.resubmit_timeout > 0) {
@@ -76,8 +92,13 @@ void LoadGenerator::CheckResubmits(TimePoint now) {
       }
       // Keep the original submit time: latency is measured from the client's
       // first attempt, as the paper's clients would experience it.
-      cluster_->SubmitTx(it->target, worker_, options_.tx_size,
-                         TxSample{it->tx_id, it->submit_time});
+      if (options_.transfer != nullptr) {
+        cluster_->SubmitTxPayload(it->target, worker_, it->payload,
+                                  TxSample{it->tx_id, it->submit_time});
+      } else {
+        cluster_->SubmitTx(it->target, worker_, options_.tx_size,
+                           TxSample{it->tx_id, it->submit_time});
+      }
       it->last_attempt = now;
       ++it->attempts;
       ++resubmitted_;

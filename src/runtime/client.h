@@ -7,7 +7,9 @@
 
 #include <cstdint>
 
+#include "src/common/rng.h"
 #include "src/runtime/cluster.h"
+#include "src/shard/workload.h"
 
 namespace nt {
 
@@ -19,6 +21,14 @@ class LoadGenerator {
     uint64_t sample_rate = 100;  // One latency sample per this many txs.
     TimeDelta tick = Millis(10); // Submission granularity.
     TimePoint stop_at = kNever;  // Stop submitting at this time.
+
+    // Transfer mode (sharded execution lanes, §8.4): when set, each
+    // submission is an encoded ExecTx drawn from this workload instead of
+    // `tx_size` synthetic bytes. The workload must outlive the generator.
+    // Narwhal-based systems only (explicit payloads need workers). Draws come
+    // from a per-generator stream derived from the cluster seed, so adding a
+    // client never perturbs another's transaction sequence.
+    const TransferWorkload* transfer = nullptr;
 
     // Client re-submission (paper §8.4): if a tracked transaction is not
     // committed within this timeout, submit it again — to the next validator
@@ -46,6 +56,9 @@ class LoadGenerator {
     TimePoint last_attempt = 0;
     uint32_t attempts = 1;
     ValidatorId target = 0;
+    // Transfer mode: the exact payload to resubmit (a retry must be the same
+    // transaction — the worker's dedup window absorbs same-entry duplicates).
+    Bytes payload;
   };
 
   void Tick();
@@ -55,6 +68,7 @@ class LoadGenerator {
   ValidatorId validator_;
   WorkerId worker_;
   Options options_;
+  Rng rng_;  // Transfer-mode draws (derived per generator; unused otherwise).
   double carry_ = 0;  // Fractional transactions carried across ticks.
   uint64_t submitted_ = 0;
   uint64_t resubmitted_ = 0;

@@ -91,8 +91,59 @@ Cluster::Cluster(const ClusterConfig& config)
       BuildHotStuff();
       break;
   }
+  if (config_.exec_lanes > 0 && narwhal_based) {
+    executors_.resize(config_.num_validators);
+    for (ValidatorId v = 0; v < config_.num_validators; ++v) {
+      WireExecutorFor(v);
+    }
+  } else if (config_.exec_lanes > 0) {
+    LOG_ERROR() << "exec_lanes ignored for " << SystemName(config_.system)
+                << " (no executable payload path)";
+  }
   if (config_.trace) {
     AttachTracer();
+  }
+}
+
+void Cluster::WireExecutorFor(ValidatorId v) {
+  if (executors_[v] == nullptr) {
+    // Resolve the worker at fetch time: a restarted validator's Worker is a
+    // new object, and a raw pointer captured here would dangle.
+    executors_[v] = std::make_unique<ShardedExecutor>(
+        config_.exec_lanes,
+        [this, v](const BatchRef& ref) { return workers_[v][0]->GetBatch(ref.digest); });
+    ShardedExecutor* executor = executors_[v].get();
+    executor->set_on_executed([this, v, executor](const Digest&, const std::vector<Digest>&) {
+      metrics_.OnExecuted(v, executor->applied_txs(), executor->rejected_txs(),
+                          executor->cross_shard_txs());
+    });
+  }
+  auto on_committed = [this, v](const std::shared_ptr<const BlockHeader>& header) {
+    executors_[v]->OnCommittedHeader(header);
+    executors_[v]->RetryPending();
+  };
+  switch (config_.system) {
+    case SystemKind::kTusk:
+      tusks_[v]->add_on_commit(
+          [on_committed](const Tusk::Committed& c) { on_committed(c.header); });
+      break;
+    case SystemKind::kBullshark:
+      bullsharks_[v]->add_on_commit(
+          [on_committed](const Bullshark::Committed& c) { on_committed(c.header); });
+      break;
+    case SystemKind::kDagRider:
+      riders_[v]->add_on_commit(
+          [on_committed](const DagRider::Committed& c) { on_committed(c.header); });
+      break;
+    case SystemKind::kNarwhalHs:
+      static_cast<NarwhalProvider*>(providers_[v].get())
+          ->add_on_header_commit(
+              [on_committed](const Digest&, const std::shared_ptr<const BlockHeader>& header) {
+                on_committed(header);
+              });
+      break;
+    default:
+      break;
   }
 }
 
@@ -115,6 +166,9 @@ void Cluster::AttachTracer() {
   }
   for (auto& hs : hs_nodes_) {
     hs->set_tracer(tracer_.get());
+  }
+  for (ValidatorId v = 0; v < executors_.size(); ++v) {
+    executors_[v]->set_tracer(tracer_.get(), v, &scheduler_);
   }
   RegisterTraceGauges();
 }
@@ -176,6 +230,21 @@ void Cluster::StartGaugeSampling(TimePoint until) {
     }
     tracer_->SampleGauges(now);
     StartGaugeSampling(until);
+  });
+}
+
+void Cluster::StartExecutorPump(TimePoint until) {
+  if (executors_.empty()) {
+    return;
+  }
+  scheduler_.ScheduleAfter(Millis(500), [this, until] {
+    if (scheduler_.now() >= until) {
+      return;  // Bounded: no perpetual rescheduling past the horizon.
+    }
+    for (auto& executor : executors_) {
+      executor->RetryPending();
+    }
+    StartExecutorPump(until);
   });
 }
 
@@ -392,6 +461,15 @@ void Cluster::SubmitTx(ValidatorId v, WorkerId w, uint64_t size_bytes,
   }
 }
 
+void Cluster::SubmitTxPayload(ValidatorId v, WorkerId w, Bytes payload,
+                              std::optional<TxSample> sample) {
+  if (workers_.empty()) {
+    LOG_ERROR() << "SubmitTxPayload requires a Narwhal-based system; dropping tx";
+    return;
+  }
+  workers_[v][w % config_.workers_per_validator]->SubmitTransaction(std::move(payload), sample);
+}
+
 void Cluster::CrashValidator(ValidatorId v, TimePoint when) {
   if (!topology_.primary_of.empty()) {
     faults_.CrashAt(topology_.primary_of[v], when);
@@ -499,6 +577,13 @@ void Cluster::RebuildValidator(ValidatorId v) {
     np->Recover();
     hs_nodes_[v]->Recover();
     network_->ReplaceNode(consensus_net_ids_[v], hs_nodes_[v].get());
+  }
+
+  // The executor object survived the rebuild (it is the validator's
+  // application state; commits are not re-delivered across a recovery), but
+  // its commit hook died with the old consensus object — re-register it.
+  if (!executors_.empty()) {
+    WireExecutorFor(v);
   }
 
   // Tracing re-attaches only after recovery, so replayed records do not get

@@ -18,6 +18,7 @@
 #include "src/narwhal/worker.h"
 #include "src/net/network.h"
 #include "src/runtime/metrics.h"
+#include "src/shard/sharded_executor.h"
 #include "src/tusk/dag_rider.h"
 #include "src/tusk/tusk.h"
 
@@ -65,6 +66,13 @@ struct ClusterConfig {
   // the paper's artifact, §6). Empty = in-memory stores.
   std::string persist_dir;
 
+  // Sharded execution lanes per validator (§8.4): when > 0, every validator
+  // of a Narwhal-based system gets a ShardedExecutor with this many
+  // KvStateMachine lanes, fed by its local commit stream. 0 = execution off
+  // (the mempool/consensus measurements don't pay for it). Ignored for the
+  // HotStuff-mempool baselines, whose payloads are synthetic bytes.
+  uint32_t exec_lanes = 0;
+
   // Lifecycle tracing (src/common/trace.h): when set, the cluster owns a
   // Tracer, wires emit points through every node, and samples per-node
   // gauges every trace_gauge_interval once StartGaugeSampling is called.
@@ -96,6 +104,11 @@ class Cluster {
   // Submits one client transaction to validator `v` (worker `w` for Narwhal
   // systems; providers for HotStuff mempool modes).
   void SubmitTx(ValidatorId v, WorkerId w, uint64_t size_bytes, std::optional<TxSample> sample);
+
+  // Submits an explicit transaction payload (an encoded ExecTx) to validator
+  // `v`'s worker `w`. Narwhal-based systems only — the baselines carry
+  // synthetic bytes and have no executable payload path.
+  void SubmitTxPayload(ValidatorId v, WorkerId w, Bytes payload, std::optional<TxSample> sample);
 
   // Crashes every machine of validator `v` at `when`.
   void CrashValidator(ValidatorId v, TimePoint when);
@@ -156,6 +169,12 @@ class Cluster {
   // style tests terminate.
   void StartGaugeSampling(TimePoint until);
 
+  // Periodically retries executors whose committed headers still wait for
+  // batch payloads (worker synchronization in flight at commit time), every
+  // 500ms until `until` (exclusive). No-op without execution lanes. Bounded
+  // like StartGaugeSampling so runs terminate.
+  void StartExecutorPump(TimePoint until);
+
   Primary* primary(ValidatorId v) { return primaries_.empty() ? nullptr : primaries_[v].get(); }
   Worker* worker(ValidatorId v, WorkerId w) {
     return workers_.empty() ? nullptr : workers_[v][w].get();
@@ -168,6 +187,13 @@ class Cluster {
   HotStuff* hotstuff(ValidatorId v) { return hs_nodes_.empty() ? nullptr : hs_nodes_[v].get(); }
   PayloadProvider* provider(ValidatorId v) {
     return providers_.empty() ? nullptr : providers_[v].get();
+  }
+  // Validator `v`'s execution lanes; nullptr unless config.exec_lanes > 0 on
+  // a Narwhal-based system. The executor object survives RestartValidator
+  // rebuilds (commits are not re-delivered across a recovery, so its state
+  // stays consistent); only the commit hook is re-registered.
+  ShardedExecutor* sharded_executor(ValidatorId v) {
+    return executors_.empty() ? nullptr : executors_[v].get();
   }
   Mempool MempoolOf(ValidatorId v) { return Mempool(primary(v), worker(v, 0)); }
 
@@ -190,6 +216,11 @@ class Cluster {
   void BuildHotStuff();
   void WireTuskMetrics();
   void WireTuskMetricsFor(ValidatorId v);
+  // Creates validator `v`'s ShardedExecutor on first call and (re-)registers
+  // its commit-stream hook on the current consensus object — called at build
+  // and again from RebuildValidator, where the old hook died with the old
+  // consensus node.
+  void WireExecutorFor(ValidatorId v);
   void WireHotStuffValidator(ValidatorId v);
   void AttachTracer();
   void RegisterTraceGauges();
@@ -231,6 +262,11 @@ class Cluster {
   std::vector<std::unique_ptr<DagRider>> riders_;
   std::vector<std::unique_ptr<PayloadProvider>> providers_;
   std::vector<std::unique_ptr<HotStuff>> hs_nodes_;
+  // Execution lanes (empty unless config.exec_lanes > 0 on a Narwhal-based
+  // system). Kept below the worker containers so batch fetches resolve
+  // through live workers during destruction order, and kept alive across
+  // validator rebuilds — the executor is the validator's application state.
+  std::vector<std::unique_ptr<ShardedExecutor>> executors_;
   std::unique_ptr<SharedTxPool> shared_pool_;
   std::vector<uint32_t> consensus_net_ids_;
 

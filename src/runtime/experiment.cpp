@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "src/shard/workload.h"
+
 namespace nt {
 
 ExperimentResult RunExperiment(const ExperimentParams& params) {
@@ -12,8 +14,21 @@ ExperimentResult RunExperiment(const ExperimentParams& params) {
   config.workers_per_validator = params.workers;
   config.collocate = params.collocate;
   config.seed = params.seed;
+  config.exec_lanes = params.shards;
   const bool trace = params.trace || !params.trace_path.empty();
   config.trace = config.trace || trace;
+
+  // The accounts/transfer workload behind every client in sharded-execution
+  // mode; must outlive the generators.
+  std::unique_ptr<TransferWorkload> workload;
+  if (params.shards > 0) {
+    TransferWorkloadConfig wl;
+    wl.num_shards = params.shards;
+    wl.cross_ratio = params.cross_ratio;
+    wl.zipf_theta = params.zipf_theta;
+    wl.hot_ratio = params.hot_ratio;
+    workload = std::make_unique<TransferWorkload>(wl);
+  }
 
   Cluster cluster(config);
 
@@ -45,8 +60,19 @@ ExperimentResult RunExperiment(const ExperimentParams& params) {
       options.stop_at = params.duration;
       options.resubmit_timeout = params.resubmit_timeout;
       options.max_resubmits = params.max_resubmits;
+      options.transfer = workload.get();
       clients.push_back(std::make_unique<LoadGenerator>(&cluster, v, w, options));
     }
+  }
+
+  if (workload != nullptr) {
+    // Fund the account population before the transfer stream ramps up: one
+    // sealed block of mints through the observer's worker right after start
+    // (transfers that race ahead of the mint commit are counted as rejected,
+    // and the warm-up window absorbs them).
+    std::vector<Bytes> mints = workload->InitialMints();
+    Cluster* c = &cluster;
+    cluster.scheduler().ScheduleAt(Millis(1), [c, mints] { c->worker(0, 0)->SubmitBlock(mints); });
   }
 
   cluster.Start();
@@ -54,6 +80,7 @@ ExperimentResult RunExperiment(const ExperimentParams& params) {
     client->Start();
   }
   cluster.StartGaugeSampling(params.duration);
+  cluster.StartExecutorPump(params.duration);
   cluster.scheduler().RunUntil(params.duration);
 
   ExperimentResult result;
@@ -73,6 +100,9 @@ ExperimentResult RunExperiment(const ExperimentParams& params) {
   result.cert_cache_hits = cluster.metrics().cert_cache_hits();
   result.cert_cache_misses = cluster.metrics().cert_cache_misses();
   result.abandoned_txs = cluster.metrics().abandoned_txs();
+  result.exec_applied = cluster.metrics().exec_applied();
+  result.exec_rejected = cluster.metrics().exec_rejected();
+  result.exec_cross = cluster.metrics().exec_cross();
   for (const auto& client : clients) {
     result.resubmitted_txs += client->resubmitted_txs();
   }
@@ -87,17 +117,23 @@ ExperimentResult RunExperiment(const ExperimentParams& params) {
 }
 
 void PrintResultHeader() {
-  std::printf("%-12s %6s %7s %7s %10s %10s %9s %9s %9s %11s %10s %10s\n", "system", "nodes",
-              "workers", "faults", "input_tps", "tps", "avg_lat_s", "p50_lat_s", "p99_lat_s",
-              "committed", "cert_hits", "cert_miss");
+  std::printf("%-12s %6s %7s %7s %10s %10s %9s %9s %9s %11s %10s %10s %11s %9s %10s\n", "system",
+              "nodes", "workers", "faults", "input_tps", "tps", "avg_lat_s", "p50_lat_s",
+              "p99_lat_s", "committed", "cert_hits", "cert_miss", "exec_appl", "exec_rej",
+              "exec_cross");
 }
 
 void PrintResultRow(const ExperimentResult& r) {
-  std::printf("%-12s %6u %7u %7u %10.0f %10.0f %9.2f %9.2f %9.2f %11llu %10llu %10llu\n",
-              r.system.c_str(), r.nodes, r.workers, r.faults, r.input_tps, r.tps, r.avg_latency_s,
-              r.p50_latency_s, r.p99_latency_s, static_cast<unsigned long long>(r.committed_txs),
-              static_cast<unsigned long long>(r.cert_cache_hits),
-              static_cast<unsigned long long>(r.cert_cache_misses));
+  std::printf(
+      "%-12s %6u %7u %7u %10.0f %10.0f %9.2f %9.2f %9.2f %11llu %10llu %10llu %11llu %9llu "
+      "%10llu\n",
+      r.system.c_str(), r.nodes, r.workers, r.faults, r.input_tps, r.tps, r.avg_latency_s,
+      r.p50_latency_s, r.p99_latency_s, static_cast<unsigned long long>(r.committed_txs),
+      static_cast<unsigned long long>(r.cert_cache_hits),
+      static_cast<unsigned long long>(r.cert_cache_misses),
+      static_cast<unsigned long long>(r.exec_applied),
+      static_cast<unsigned long long>(r.exec_rejected),
+      static_cast<unsigned long long>(r.exec_cross));
   std::fflush(stdout);
 }
 

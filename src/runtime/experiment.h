@@ -43,6 +43,17 @@ struct ExperimentParams {
   TimeDelta resubmit_timeout = 0;
   uint32_t max_resubmits = 8;
 
+  // Sharded execution lanes (§8.4): shards > 0 deploys a ShardedExecutor
+  // with that many lanes per validator, switches every client to the
+  // accounts/transfer workload (cluster.exec_lanes is overwritten), and
+  // reports applied/rejected/cross-shard execution counters. Narwhal-based
+  // systems only. The remaining knobs shape the workload (see
+  // TransferWorkloadConfig).
+  uint32_t shards = 0;
+  double cross_ratio = 0.0;
+  double zipf_theta = 0.0;
+  double hot_ratio = 0.0;
+
   // Lifecycle tracing: `trace` enables the Tracer (per-stage latency
   // breakdown in the result); a non-empty `trace_path` additionally writes
   // a Chrome trace-event JSON (chrome://tracing / Perfetto) and implies
@@ -76,6 +87,13 @@ struct ExperimentResult {
   // Client-side resubmission accounting (satellite of Fig. 8 loss runs).
   uint64_t resubmitted_txs = 0;
   uint64_t abandoned_txs = 0;
+
+  // Execution counters at the observer validator (params.shards > 0 only):
+  // transactions applied vs rejected by the state machine, and how many of
+  // the applied were cross-shard transfers.
+  uint64_t exec_applied = 0;
+  uint64_t exec_rejected = 0;
+  uint64_t exec_cross = 0;
 
   // Per-stage latency breakdown; populated only when params.trace was set.
   bool traced = false;

@@ -50,6 +50,25 @@ class Metrics {
   uint64_t committed_bytes() const { return committed_bytes_; }
   const SampleStats& latency_seconds() const { return latency_; }
 
+  // Execution-side counters (sharded execution lanes, §8.4). The executor
+  // reports its cumulative totals after every executed header; only the
+  // observer validator's stream is recorded (every honest validator executes
+  // the same transactions — count them once, like commits). Applied and
+  // rejected are split so benchmark output can distinguish throughput from
+  // churn (insufficient-funds / malformed payloads).
+  void OnExecuted(ValidatorId at, uint64_t applied_total, uint64_t rejected_total,
+                  uint64_t cross_total) {
+    if (at != observer_) {
+      return;
+    }
+    exec_applied_ = applied_total;
+    exec_rejected_ = rejected_total;
+    exec_cross_ = cross_total;
+  }
+  uint64_t exec_applied() const { return exec_applied_; }
+  uint64_t exec_rejected() const { return exec_rejected_; }
+  uint64_t exec_cross() const { return exec_cross_; }
+
   // Transactions whose clients gave up after max_resubmits (satellite of the
   // Fig. 8 loss accounting: submitted-but-never-committed must be visible).
   void AddAbandonedTxs(uint64_t n) { abandoned_txs_ += n; }
@@ -109,6 +128,9 @@ class Metrics {
   uint64_t committed_txs_ = 0;
   uint64_t committed_bytes_ = 0;
   uint64_t abandoned_txs_ = 0;
+  uint64_t exec_applied_ = 0;
+  uint64_t exec_rejected_ = 0;
+  uint64_t exec_cross_ = 0;
   SampleStats latency_;
   std::set<uint64_t> committed_samples_;
   Tracer* tracer_ = nullptr;

@@ -1,0 +1,27 @@
+#include "src/shard/router.h"
+
+namespace nt {
+
+ShardId ShardRouter::Route(std::string_view key, uint32_t num_shards) {
+  if (num_shards <= 1) {
+    return 0;
+  }
+  uint64_t h = 14695981039346656037ull;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<ShardId>(h % num_shards);
+}
+
+std::string ShardRouter::MineAccount(const std::string& prefix, ShardId shard,
+                                     uint32_t num_shards) {
+  for (uint64_t nonce = 0;; ++nonce) {
+    std::string name = prefix + "." + std::to_string(nonce);
+    if (Route(name, num_shards) == shard) {
+      return name;
+    }
+  }
+}
+
+}  // namespace nt

@@ -1,0 +1,65 @@
+// Accounts/transfer workload for the sharded execution lanes: a fixed
+// population of accounts mined onto specific lanes (ShardRouter::MineAccount)
+// so the cross-shard ratio is exact, with zipf key skew and a hot-key
+// contention knob. Pure and deterministic given the caller's Rng — the load
+// generator draws from it, the DST checker and benchmarks replay it.
+#ifndef SRC_SHARD_WORKLOAD_H_
+#define SRC_SHARD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/exec/state_machine.h"
+#include "src/shard/router.h"
+
+namespace nt {
+
+struct TransferWorkloadConfig {
+  uint32_t num_shards = 1;
+  uint32_t accounts_per_shard = 64;
+  // Probability a transfer crosses lanes (exact in expectation; 0 with a
+  // single lane regardless).
+  double cross_ratio = 0.0;
+  // Zipf exponent for account selection within a lane: 0 = uniform, higher
+  // values concentrate traffic on low-index accounts.
+  double zipf_theta = 0.0;
+  // Probability the source account is the lane's hottest (index 0) account,
+  // on top of the zipf draw — models pathological contention.
+  double hot_ratio = 0.0;
+  // Funded per account up front, so rejects stay rare under sustained load.
+  uint64_t initial_balance = 1000000000;
+  uint64_t amount = 1;
+};
+
+class TransferWorkload {
+ public:
+  explicit TransferWorkload(TransferWorkloadConfig config);
+
+  const TransferWorkloadConfig& config() const { return config_; }
+
+  // One kMint per account, in lane-major order. Submit these before the
+  // transfer stream starts.
+  std::vector<Bytes> InitialMints() const;
+
+  // Draws one encoded transfer. `nonce` is folded into the wire bytes (the
+  // ExecTx value field) so repeated draws of a hot pair stay distinct through
+  // worker-level dedup.
+  Bytes NextTransfer(Rng& rng, uint64_t nonce) const;
+
+  const std::string& account(ShardId shard, uint32_t index) const {
+    return accounts_[shard][index];
+  }
+
+ private:
+  uint32_t PickIndex(Rng& rng) const;
+
+  TransferWorkloadConfig config_;
+  std::vector<std::vector<std::string>> accounts_;  // [shard][index], mined.
+  std::vector<double> cdf_;  // Zipf CDF over account indices within a lane.
+};
+
+}  // namespace nt
+
+#endif  // SRC_SHARD_WORKLOAD_H_

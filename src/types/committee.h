@@ -13,6 +13,9 @@ namespace nt {
 
 using ValidatorId = uint32_t;
 using WorkerId = uint32_t;
+// Execution lane within a validator (src/shard/): the key space is
+// partitioned into `num_shards` lanes, each backed by its own state machine.
+using ShardId = uint32_t;
 using Round = uint64_t;
 
 struct ValidatorInfo {

@@ -84,6 +84,38 @@ TEST(ScheduleTest, RestartFaultsRoundTripAndShapeTheRun) {
   EXPECT_EQ(decoded->crashes[1].recover_at, Seconds(5));
 }
 
+TEST(ScheduleTest, ShardsAndCrossShardBugRoundTrip) {
+  FaultSchedule s = GenerateSchedule(3);
+  // The default single lane stays off the wire: historical repros (and their
+  // hashes) predate the knob and must re-parse unchanged.
+  EXPECT_EQ(s.shards, 1u);
+  EXPECT_EQ(s.Encode().find("shards="), std::string::npos);
+
+  s.shards = 4;
+  s.bug_skip_cross_shard_lock = true;
+  std::string text = s.Encode();
+  EXPECT_NE(text.find("shards=4"), std::string::npos);
+  EXPECT_NE(text.find("bug=skip_cross_shard_lock"), std::string::npos);
+  std::optional<FaultSchedule> decoded = FaultSchedule::Decode(text);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->shards, 4u);
+  EXPECT_TRUE(decoded->bug_skip_cross_shard_lock);
+  EXPECT_EQ(decoded->Encode(), text);
+
+  // A schedule with no execution lanes at all is malformed, not "lanes off".
+  EXPECT_FALSE(
+      FaultSchedule::Decode("seed=1\nvalidators=4\nduration_us=1000000\nshards=0\n").has_value());
+}
+
+TEST(ScheduleTest, GeneratorNeverDrawsShards) {
+  // Lane coverage comes from pinned bands (`ntcheck --shards 4`), never the
+  // seed draw: adding the knob must not perturb the frozen rng stream behind
+  // every checked-in repro and golden event hash.
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    EXPECT_EQ(GenerateSchedule(seed).shards, 1u) << "seed " << seed;
+  }
+}
+
 TEST(ScheduleTest, GeneratorEmitsRestartsWithinTheDownWindowBounds) {
   size_t restarts = 0;
   for (uint64_t seed = 1; seed <= 64; ++seed) {
@@ -192,6 +224,40 @@ TEST(MutationGateTest, SkipBullsharkSupportVotesIsCaughtAndShrinks) {
     ordering |= v.invariant == "oracle-agreement" || v.invariant == "prefix-consistency";
   }
   EXPECT_TRUE(ordering) << shrunk.verdict.Summary();
+}
+
+TEST(MutationGateTest, SkipCrossShardLockIsCaughtAndShrinks) {
+  // The seed draw never enables execution lanes, so this gate pins shards=4
+  // on every seed (as `ntcheck --bug skip_cross_shard_lock` does), still
+  // alternating the system by parity.
+  std::optional<FaultSchedule> failing;
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    SystemKind system = (seed % 2 == 0) ? SystemKind::kTusk : SystemKind::kNarwhalHs;
+    FaultSchedule s = GenerateSchedule(seed, system);
+    s.shards = 4;
+    s.bug_skip_cross_shard_lock = true;
+    if (!RunSchedule(s).ok()) {
+      failing = s;
+      break;
+    }
+  }
+  ASSERT_TRUE(failing.has_value()) << "skipped cross-shard lock survived 64 fuzz seeds";
+
+  ShrinkResult shrunk = Shrink(*failing);
+  EXPECT_FALSE(shrunk.verdict.ok());
+  EXPECT_LE(shrunk.schedule.validators, 4u);
+  EXPECT_LE(shrunk.schedule.FaultCount(), 2u);
+  // The shrinker may drop lanes to 2 (the smallest count that can cross) but
+  // never to 1, where the bug has no cross-shard path left to fire on.
+  EXPECT_GE(shrunk.schedule.shards, 2u);
+  // Every validator computes the same wrong answer, so agreement can't see
+  // it: the catch must come from the conservation check or the honest
+  // ReplayShards oracle.
+  bool shard_invariant = false;
+  for (const Violation& v : shrunk.verdict.violations) {
+    shard_invariant |= v.invariant == "shard-conservation" || v.invariant == "shard-oracle";
+  }
+  EXPECT_TRUE(shard_invariant) << shrunk.verdict.Summary();
 }
 
 }  // namespace

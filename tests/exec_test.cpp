@@ -176,6 +176,80 @@ TEST(ExecutorTest, DefersOnMissingBatchThenPreservesOrder) {
   EXPECT_EQ(sm.rejected(), 0u);
 }
 
+TEST(ExecutorTest, PendingQueueDrainsInCommitOrderAcrossRetries) {
+  KvStateMachine sm;
+  std::map<Digest, std::shared_ptr<const Batch>> store;
+  Executor executor(&sm, [&store](const BatchRef& ref) {
+    auto it = store.find(ref.digest);
+    return it == store.end() ? nullptr : it->second;
+  });
+
+  // Three headers whose batch data arrives in reverse order. Each
+  // RetryPending drains exactly the prefix of the commit order whose data is
+  // available — never a later header ahead of an earlier one.
+  std::vector<std::shared_ptr<Batch>> batches;
+  std::vector<std::shared_ptr<BlockHeader>> headers;
+  for (int i = 0; i < 3; ++i) {
+    auto batch = std::make_shared<Batch>();
+    batch->txs = {ExecTx::Mint("acct", 10).Encode()};
+    batch->txs.push_back(ExecTx::Put("k" + std::to_string(i), {uint8_t(i)}).Encode());
+    batch->num_txs = batch->txs.size();
+    batches.push_back(batch);
+    auto header = std::make_shared<BlockHeader>();
+    header->round = static_cast<Round>(i + 1);
+    BatchRef ref;
+    ref.digest = batch->ComputeDigest();
+    header->batches.push_back(ref);
+    headers.push_back(header);
+    executor.OnCommittedHeader(header);
+  }
+  EXPECT_EQ(executor.executed_headers(), 0u);
+  EXPECT_EQ(executor.pending_headers(), 3u);
+
+  store[batches[2]->ComputeDigest()] = batches[2];
+  executor.RetryPending();
+  EXPECT_EQ(executor.executed_headers(), 0u);  // Head of the queue still blocked.
+  EXPECT_EQ(executor.pending_headers(), 3u);
+
+  store[batches[0]->ComputeDigest()] = batches[0];
+  executor.RetryPending();
+  EXPECT_EQ(executor.executed_headers(), 1u);  // Drains exactly the ready prefix.
+  EXPECT_EQ(executor.pending_headers(), 2u);
+
+  store[batches[1]->ComputeDigest()] = batches[1];
+  executor.RetryPending();
+  EXPECT_EQ(executor.executed_headers(), 3u);
+  EXPECT_EQ(executor.pending_headers(), 0u);
+  EXPECT_EQ(sm.BalanceOf("acct"), 30u);
+}
+
+TEST(ExecutorTest, AppliedAndRejectedCountersAreSplit) {
+  KvStateMachine sm;
+  std::map<Digest, std::shared_ptr<const Batch>> store;
+  Executor executor(&sm, [&store](const BatchRef& ref) {
+    auto it = store.find(ref.digest);
+    return it == store.end() ? nullptr : it->second;
+  });
+
+  auto batch = std::make_shared<Batch>();
+  batch->txs = {ExecTx::Mint("a", 5).Encode(),           // Applied.
+                ExecTx::Transfer("a", "b", 3).Encode(),  // Applied.
+                ExecTx::Transfer("ghost", "b", 1).Encode(),  // Rejected: unfunded.
+                Bytes{9, 9, 9}};                             // Rejected: malformed.
+  batch->num_txs = batch->txs.size();
+  store[batch->ComputeDigest()] = batch;
+  auto header = std::make_shared<BlockHeader>();
+  header->round = 1;
+  BatchRef ref;
+  ref.digest = batch->ComputeDigest();
+  header->batches.push_back(ref);
+  executor.OnCommittedHeader(header);
+
+  // The old lumped executed-txs counter is gone; both components surface.
+  EXPECT_EQ(executor.applied_txs(), 2u);
+  EXPECT_EQ(executor.rejected_txs(), 2u);
+}
+
 // ------------------------------------------------- end-to-end replication
 
 TEST(ExecClusterTest, ReplicatedExecutionAgreesAcrossValidators) {

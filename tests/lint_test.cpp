@@ -122,6 +122,25 @@ size_t truncate_count = 0;
   EXPECT_EQ(CountRule(r, kRuleNondet), 0);
 }
 
+TEST(NondetRule, EntropyBasedLaneRoutingFiresAndPureHashRoutingIsSilent) {
+  // Sharded-execution routing must be a pure function of the key bytes:
+  // load-balancing lanes with process entropy diverges across validators.
+  FileReport bad = LintSource("src/shard/router.cpp", R"(
+uint32_t PickLane(uint32_t lanes) { return rand() % lanes; }
+)");
+  EXPECT_EQ(CountRule(bad, kRuleNondet), 1);
+  FileReport good = LintSource("src/shard/router.cpp", R"(
+uint32_t PickLane(std::string_view key, uint32_t lanes) {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : key) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+  }
+  return static_cast<uint32_t>(h % lanes);
+}
+)");
+  EXPECT_EQ(CountRule(good, kRuleNondet), 0);
+}
+
 // ---------------------------------------------------------- R2 unordered-iter
 
 TEST(UnorderedIterRule, FlagsRangeForThatSerializes) {
@@ -174,6 +193,55 @@ uint64_t Max() {
     best = std::max(best, w);
   }
   return best;
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleUnorderedIter), 0);
+}
+
+TEST(UnorderedIterRule, FlagsPerLaneUnorderedBalancesThatFeedADigest) {
+  // The sharded-execution shape: per-lane balance books. Backing a lane with
+  // an unordered_map and folding it into the lane digest serializes in hash
+  // order — replicas would compute different lane digests from equal state.
+  // (The real src/exec lane uses std::map for exactly this reason.)
+  FileReport r = LintSource("src/shard/lanes.cpp", R"(
+std::vector<std::unordered_map<std::string, uint64_t>> lanes_;
+void FoldLane(uint32_t lane, Sha256& h) {
+  for (const auto& [account, balance] : lanes_[lane]) {
+    h.Update(account);
+    h.Update(balance);
+  }
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleUnorderedIter), 1);
+}
+
+TEST(UnorderedIterRule, OrderedLaneSweepOverUnorderedPendingSetFires) {
+  // Sweeping lanes by index is fine; draining each lane's unordered pending
+  // set into the cross-shard apply order is the bug (boundary sequencing
+  // must be identical on every validator).
+  FileReport r = LintSource("src/shard/lanes.cpp", R"(
+std::vector<std::unordered_set<uint64_t>> deferred_;
+void ApplyBoundary(Writer& w) {
+  for (size_t lane = 0; lane < deferred_.size(); ++lane) {
+    for (auto it = deferred_[lane].begin(); it != deferred_[lane].end(); ++it) {
+      w.PutU64(*it);
+    }
+  }
+}
+)");
+  EXPECT_EQ(CountRule(r, kRuleUnorderedIter), 1);
+}
+
+TEST(UnorderedIterRule, PerLaneOrderedBooksAreSilent) {
+  // The honest shape: ordered per-lane books, outer sweep by lane index.
+  FileReport r = LintSource("src/shard/lanes.cpp", R"(
+std::vector<std::map<std::string, uint64_t>> lanes_;
+void FoldAll(Sha256& h) {
+  for (const auto& lane : lanes_) {
+    for (const auto& [account, balance] : lane) {
+      h.Update(account);
+    }
+  }
 }
 )");
   EXPECT_EQ(CountRule(r, kRuleUnorderedIter), 0);

@@ -20,6 +20,12 @@
 //   --runs R          averaged runs with distinct seeds (default 1)
 //   --jobs N          fork up to N workers for the --runs sweep (default 1)
 //   --batch-kb KB     worker batch size (default 500)
+//   --shards S        sharded execution lanes per validator (default 0 = off;
+//                     Narwhal-based systems only — switches clients to the
+//                     accounts/transfer workload and reports exec counters)
+//   --cross-ratio R   fraction of transfers that cross lanes (default 0)
+//   --zipf THETA      zipf skew for account selection (default 0 = uniform)
+//   --hot-ratio R     chance a transfer debits the lane's hottest account
 //   --real-crypto     RFC 8032 Ed25519 signatures (default: FastSigner)
 //   --async-from S --async-to S --async-factor X   asynchrony window
 //   --trace PATH      enable lifecycle tracing; write Chrome trace JSON to
@@ -164,6 +170,14 @@ int main(int argc, char** argv) {
       }
     } else if (flag == "--batch-kb") {
       params.cluster.narwhal.batch_size_bytes = std::stoull(next()) * 1000;
+    } else if (flag == "--shards") {
+      params.shards = static_cast<uint32_t>(std::stoul(next()));
+    } else if (flag == "--cross-ratio") {
+      params.cross_ratio = std::stod(next());
+    } else if (flag == "--zipf") {
+      params.zipf_theta = std::stod(next());
+    } else if (flag == "--hot-ratio") {
+      params.hot_ratio = std::stod(next());
     } else if (flag == "--real-crypto") {
       params.cluster.signer_kind = SignerKind::kEd25519;
     } else if (flag == "--async-from") {
@@ -189,17 +203,29 @@ int main(int argc, char** argv) {
   if (params.warmup >= params.duration) {
     Usage("warmup must be below duration");
   }
+  if (params.shards > 0 &&
+      (params.system == SystemKind::kBaselineHs || params.system == SystemKind::kBatchedHs)) {
+    Usage("--shards needs a Narwhal-based system (its clients submit executable payloads)");
+  }
+  if (params.cross_ratio < 0 || params.cross_ratio > 1 || params.hot_ratio < 0 ||
+      params.hot_ratio > 1) {
+    Usage("--cross-ratio and --hot-ratio must be within [0, 1]");
+  }
 
   AveragedResult result = (jobs > 1 && runs > 1) ? RunAveragedForked(params, runs, jobs)
                                                  : RunAveraged(params, runs);
   if (csv) {
     std::printf("system,nodes,workers,faults,input_tps,tps,tps_stddev,avg_latency_s,"
-                "latency_stddev_s,p99_latency_s,abandoned\n");
-    std::printf("%s,%u,%u,%u,%.0f,%.0f,%.0f,%.3f,%.3f,%.3f,%llu\n", result.first.system.c_str(),
-                result.first.nodes, result.first.workers, result.first.faults,
-                result.first.input_tps, result.tps_mean, result.tps_stddev, result.latency_mean,
-                result.latency_stddev, result.p99_mean,
-                static_cast<unsigned long long>(result.first.abandoned_txs));
+                "latency_stddev_s,p99_latency_s,abandoned,exec_applied,exec_rejected,"
+                "exec_cross\n");
+    std::printf("%s,%u,%u,%u,%.0f,%.0f,%.0f,%.3f,%.3f,%.3f,%llu,%llu,%llu,%llu\n",
+                result.first.system.c_str(), result.first.nodes, result.first.workers,
+                result.first.faults, result.first.input_tps, result.tps_mean, result.tps_stddev,
+                result.latency_mean, result.latency_stddev, result.p99_mean,
+                static_cast<unsigned long long>(result.first.abandoned_txs),
+                static_cast<unsigned long long>(result.first.exec_applied),
+                static_cast<unsigned long long>(result.first.exec_rejected),
+                static_cast<unsigned long long>(result.first.exec_cross));
   } else {
     PrintSweepHeader();
     PrintSweepRow(result);

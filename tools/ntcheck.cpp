@@ -3,6 +3,7 @@
 //   ntcheck --seeds 64                 fuzz 64 seeded fault schedules
 //   ntcheck --seeds 64 --start 1000    ... starting from seed 1000
 //   ntcheck --system tusk              pin the system (default: seed picks)
+//   ntcheck --shards 4                 pin execution lanes per validator
 //   ntcheck --bug accept_2f_certs      mutation mode: enable a seeded bug
 //   ntcheck --replay FILE              replay one repro file
 //   ntcheck --corpus FILE              replay every repro block in FILE
@@ -80,6 +81,8 @@ int main(int argc, char** argv) {
   bool bug_accept_2f = false;
   bool bug_skip_support = false;
   bool bug_skip_bullshark = false;
+  bool bug_skip_cross_lock = false;
+  std::optional<uint32_t> shards;
   std::string replay_path;
   std::string corpus_path;
   std::string out_path;
@@ -112,6 +115,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown system '%s'\n", v.c_str());
         return 2;
       }
+    } else if (arg == "--shards") {
+      uint64_t v = std::strtoull(next(), nullptr, 10);
+      if (v < 1) {
+        std::fprintf(stderr, "--shards needs a positive lane count\n");
+        return 2;
+      }
+      shards = static_cast<uint32_t>(v);
     } else if (arg == "--bug") {
       std::string v = next();
       if (v == "accept_2f_certs") {
@@ -120,6 +130,8 @@ int main(int argc, char** argv) {
         bug_skip_support = true;
       } else if (v == "skip_bullshark_support_votes") {
         bug_skip_bullshark = true;
+      } else if (v == "skip_cross_shard_lock") {
+        bug_skip_cross_lock = true;
       } else {
         std::fprintf(stderr, "unknown bug '%s'\n", v.c_str());
         return 2;
@@ -141,7 +153,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ntcheck [--seeds N] [--start S] [--system tusk|narwhal-hs|bullshark|both]\n"
-          "               [--bug accept_2f_certs|skip_tusk_support|skip_bullshark_support_votes]\n"
+          "               [--shards S]\n"
+          "               [--bug accept_2f_certs|skip_tusk_support|skip_bullshark_support_votes"
+          "|skip_cross_shard_lock]\n"
           "               [--replay FILE] [--corpus FILE] [--no-shrink] [--out FILE]\n"
           "               [--jobs N]\n");
       return 0;
@@ -223,6 +237,11 @@ int main(int argc, char** argv) {
   if (bug_skip_bullshark && !system.has_value() && !both_systems) {
     system = SystemKind::kBullshark;
   }
+  // Likewise the seed draw never enables execution lanes; the cross-shard
+  // mutation needs them, so default the pin to the CI shard band's width.
+  if (bug_skip_cross_lock && !shards.has_value()) {
+    shards = 4;
+  }
 
   auto run_seed = [&](uint64_t i) {
     uint64_t seed = start + i;
@@ -231,14 +250,19 @@ int main(int argc, char** argv) {
       pin = (i % 2 == 0) ? SystemKind::kTusk : SystemKind::kNarwhalHs;
     }
     FaultSchedule schedule = nt::GenerateSchedule(seed, pin);
+    if (shards.has_value()) {
+      schedule.shards = *shards;
+    }
     schedule.bug_accept_2f_certs = bug_accept_2f;
     schedule.bug_skip_tusk_support = bug_skip_support;
     schedule.bug_skip_bullshark_support = bug_skip_bullshark;
+    schedule.bug_skip_cross_shard_lock = bug_skip_cross_lock;
     // Determinism self-check piggybacks on the first schedule of each batch.
     run_one(schedule, /*self_check=*/i == 0);
   };
 
-  if (jobs > 1 && (bug_accept_2f || bug_skip_support || bug_skip_bullshark)) {
+  if (jobs > 1 && (bug_accept_2f || bug_skip_support || bug_skip_bullshark ||
+                   bug_skip_cross_lock)) {
     std::fprintf(stderr, "note: --bug stops at the first violation; ignoring --jobs\n");
     jobs = 1;
   }
@@ -268,7 +292,8 @@ int main(int argc, char** argv) {
   } else {
     for (uint64_t i = 0; i < seeds; ++i) {
       run_seed(i);
-      if (failures > 0 && (bug_accept_2f || bug_skip_support || bug_skip_bullshark)) {
+      if (failures > 0 &&
+          (bug_accept_2f || bug_skip_support || bug_skip_bullshark || bug_skip_cross_lock)) {
         break;  // Mutation mode: first caught violation proves the point.
       }
     }

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Build and run the sharded-execution benchmark, refreshing the committed
+# BENCH_exec.json at the repo root. Any extra arguments are passed to the
+# bench binary, e.g.:
+#   tools/run_bench_exec.sh                 # full run, updates the JSON
+#   tools/run_bench_exec.sh --quick         # 8x smaller stream, smoke only
+#   tools/run_bench_exec.sh --only lanes4_cross20   # one scenario, no JSON
+#
+# The bench times ShardedExecutor over a pre-generated committed-header
+# stream (TransferWorkload transfers; mints first), so the number is pure
+# execution throughput: single lane vs 4/8 lanes, 0% vs 20% cross-shard, and
+# a hot-key contention scenario. Each scenario takes the best of 3 in-process
+# repetitions; treat single runs on a loaded machine as a lower bound.
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build"
+
+if [ ! -f "$build/CMakeCache.txt" ]; then
+  cmake --preset default -S "$repo" > /dev/null
+fi
+cmake --build "$build" --target bench_exec -j "$(nproc)" > /dev/null
+
+# The bench writes BENCH_exec.json into its working directory; run at the
+# repo root so the committed copy is the one refreshed.
+cd "$repo"
+exec "$build/bench/bench_exec" "$@"
